@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artifact: these keep the simulator's hot paths honest so the
+figure benches above stay tractable at paper scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.cells import Cell, CellList
+from repro.core.flushqueue import FlushScheduler
+from repro.db.database import StableDatabase
+from repro.disk.block import BlockAddress
+from repro.disk.partition import RangePartitioner
+from repro.records.data import DataLogRecord
+from repro.sim.engine import Simulator
+
+
+def test_event_engine_throughput(benchmark):
+    def run_events() -> int:
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 20_000:
+                sim.after(0.001, tick)
+
+        sim.after(0.0, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_cell_list_churn(benchmark):
+    def churn() -> int:
+        cells = CellList(0)
+        live: list[Cell] = []
+        rng = random.Random(0)
+        for lsn in range(10_000):
+            record = DataLogRecord(lsn, 1, float(lsn), 100, lsn, lsn)
+            cell = Cell(record, BlockAddress(0, lsn % 64))
+            cells.append_tail(cell)
+            live.append(cell)
+            if len(live) > 500:
+                cells.remove(live.pop(rng.randrange(len(live))))
+        return len(cells)
+
+    assert benchmark(churn) == 500
+
+
+def test_flush_scheduler_throughput(benchmark):
+    def flush_many() -> int:
+        sim = Simulator()
+        db = StableDatabase(1_000_000)
+        scheduler = FlushScheduler(
+            sim, db, RangePartitioner(1_000_000, 10), 10, 0.001,
+            on_flush_complete=lambda record: None,
+        )
+        rng = random.Random(1)
+        for lsn in range(5_000):
+            oid = rng.randrange(1_000_000)
+            scheduler.submit(DataLogRecord(lsn, 1, lsn * 1e-4, 100, oid, lsn))
+            if lsn % 50 == 0:
+                sim.run_until(sim.now + 0.01)
+        sim.run()
+        return scheduler.completed
+
+    assert benchmark(flush_many) > 4_000

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Sizing the generations for a workload — the paper's §6 open problem.
+
+"The optimal number of generations and their sizes depends on the
+application.  We cannot offer any provably correct analytical methods as
+tools to a database administrator who must specify these parameters."
+
+This example shows the first-order advisor this library adds: it models
+record residency per generation from the transaction mix, recommends sizes,
+and validates them by simulation — then compares against the empirical
+minimum found by the reduce-until-kill search.
+
+Run:  python examples/adaptive_sizing.py          (~1 minute)
+"""
+
+from repro import SimulationConfig, SpaceSearch, run_simulation
+from repro.core.sizing import recommend_generation_sizes
+from repro.metrics.report import format_table
+from repro.workload.spec import paper_mix
+
+RUNTIME = 45.0
+
+
+def main() -> None:
+    rows = []
+    for fraction in (0.05, 0.20):
+        mix = paper_mix(fraction)
+        advice = recommend_generation_sizes(mix, 100.0)
+
+        validated = run_simulation(
+            SimulationConfig.ephemeral(
+                advice.generation_sizes,
+                recirculation=True,
+                long_fraction=fraction,
+                runtime=RUNTIME,
+            )
+        )
+        search = SpaceSearch(
+            SimulationConfig.ephemeral(
+                advice.generation_sizes,
+                recirculation=True,
+                long_fraction=fraction,
+                runtime=RUNTIME,
+            )
+        )
+        empirical = search.el_minimum(gen0_candidates=(16, 20), refine_radius=1)
+        rows.append(
+            (
+                f"{fraction:.0%}",
+                str(list(advice.generation_sizes)),
+                "no kills" if validated.no_kills else "KILLS!",
+                str(list(empirical.sizes)),
+                f"{advice.total_blocks / empirical.total_blocks:.2f}x",
+            )
+        )
+    print("Advisor recommendation vs. searched empirical minimum "
+          f"(100 TPS, {RUNTIME:.0f}s):\n")
+    print(format_table(
+        ["10s-tx %", "advised sizes", "validated", "searched minimum",
+         "advised/minimum"],
+        rows,
+    ))
+    print("\nThe advisor lands within a small factor of the searched "
+          "minimum and always on the\nfeasible side — a usable starting "
+          "point for the DBA knob the paper wished for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Crash a running system and recover it with a single pass over the log.
+
+The paper's payoff for EL's small log: "we can read the entire log into
+memory and perform recovery with a single pass.  Recovery in less than a
+second may be feasible."  This example crashes an EL system mid-run,
+reconstructs the database from the stable version plus the durable log,
+and verifies — against the workload's own record of acknowledged commits —
+that recovery restored *exactly* the acknowledged updates: nothing lost,
+nothing invented.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import time
+
+from repro import (
+    RecoveryVerifier,
+    Simulation,
+    SimulationConfig,
+    SinglePassRecovery,
+    TwoPassRecovery,
+)
+
+CRASH_AT = 45.0
+
+
+def main() -> None:
+    config = SimulationConfig.ephemeral(
+        (18, 10),
+        recirculation=True,
+        long_fraction=0.05,
+        runtime=60.0,
+        collect_truth=True,  # remember every acknowledged update
+    )
+    simulation = Simulation(config)
+
+    print(f"Running until the crash at t={CRASH_AT:.0f}s ...")
+    simulation.run_until(CRASH_AT)
+
+    # Everything below is what survives a power failure: the stable
+    # database plus whatever block writes had completed.
+    durable_log = simulation.capture_durable_log()
+    stable = simulation.capture_stable_database()
+    print(f"  durable log blocks : {len(durable_log)}")
+    print(f"  stable DB objects  : {len(stable)}")
+
+    recovery = SinglePassRecovery(durable_log)
+    start = time.perf_counter()
+    recovered = recovery.recover(stable)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    print(f"\nSingle-pass recovery in {elapsed_ms:.2f} ms:")
+    print(f"  records applied          : {recovery.records_applied}")
+    print(f"  stale copies skipped     : {recovery.records_skipped_stale}")
+    print(f"  loser-transaction records: {recovery.records_skipped_loser}")
+
+    # The traditional two-pass method must agree exactly.
+    assert TwoPassRecovery(durable_log).recover(stable) == recovered
+    print("  two-pass oracle agrees   : yes")
+
+    verifier = RecoveryVerifier(simulation.generator.acked_updates)
+    verdict = verifier.verify(CRASH_AT, recovered)
+    print(f"\nVerification against {verdict.expected_objects} acknowledged "
+          f"objects: {'OK' if verdict.ok else 'FAILED'}")
+    assert verdict.ok, verdict.mismatches[:5]
+    print("Every acknowledged update survived; no unacknowledged work "
+          "reappeared.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bring your own workload: mixed OLTP with batch jobs, plus §6 extensions.
+
+The paper's motivation is "applications which have a wide distribution of
+transaction lifetimes".  This example defines a three-type workload — point
+updates, interactive orders, and minute-long batch jobs — and compares:
+
+* plain EL with two generations,
+* EL with the *lifetime placement* hint from the paper's concluding
+  remarks (batch jobs' records go straight to the old generation), and
+* the EL-FW *hybrid*, which keeps one pointer per transaction in RAM and
+  regenerates records instead (less memory, more bandwidth).
+
+Run:  python examples/custom_workload.py           (~30 s)
+"""
+
+from repro import SimulationConfig, Technique, TransactionType, WorkloadMix, run_simulation
+from repro.metrics.report import format_table
+
+RUNTIME = 60.0
+
+MIX = WorkloadMix(
+    [
+        TransactionType(
+            name="point-update", probability=0.70,
+            duration=0.5, record_count=1, record_bytes=120,
+        ),
+        TransactionType(
+            name="order-entry", probability=0.29,
+            duration=3.0, record_count=5, record_bytes=150,
+        ),
+        TransactionType(
+            name="batch-job", probability=0.01,
+            duration=30.0, record_count=10, record_bytes=150,
+        ),
+    ]
+)
+
+
+def run(label: str, config: SimulationConfig):
+    result = run_simulation(config)
+    return (
+        label,
+        result.transactions_killed,
+        round(result.total_bandwidth_wps, 2),
+        result.memory_peak_bytes,
+        result.forwarded_records
+        + result.recirculated_records
+        + result.regenerated_records,
+    )
+
+
+def main() -> None:
+    base = SimulationConfig(
+        technique=Technique.EPHEMERAL,
+        generation_sizes=(24, 40),
+        recirculation=True,
+        mix=MIX,
+        arrival_rate=50.0,
+        runtime=RUNTIME,
+    )
+
+    rows = [
+        run("EL (plain)", base),
+        run(
+            "EL + lifetime placement",
+            # Transactions expected to outlive 10 s start in generation 1.
+            base.replace(placement_boundaries=(10.0,)),
+        ),
+        run(
+            "EL-FW hybrid",
+            base.replace(technique=Technique.HYBRID),
+        ),
+    ]
+
+    print("Custom workload: 70% point updates, 29% order entry, "
+          "1% 30-second batch jobs at 50 TPS\n")
+    print(format_table(
+        ["configuration", "kills", "log w/s", "peak RAM bytes",
+         "records migrated"],
+        rows,
+    ))
+    print(
+        "\nPlacement cuts migration traffic by writing batch jobs' records "
+        "where they won't\nreach a head mid-flight; the hybrid trades RAM "
+        "for regeneration bandwidth (paper §6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""EL when flushing bandwidth is scarce (paper §4, last experiment).
+
+With 45 ms flush transfers, ten drives provide only 222 flushes/s against
+~210 updates/s, so a backlog of unflushed committed updates accumulates.
+The paper's finding: unflushed updates recirculate in the last generation
+without blowing up space or bandwidth, and — the elegant part — the
+backlog *increases locality*: a bigger pool of pending flushes lets each
+drive pick nearer oids, so flush I/O becomes more sequential.  "This
+negative feedback provides some stability."
+
+Run:  python examples/scarce_flush_bandwidth.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.metrics.report import format_table
+
+RUNTIME = 90.0
+
+
+def run(flush_ms: float):
+    return run_simulation(
+        SimulationConfig.ephemeral(
+            (20, 11),  # the paper's minimum under scarcity: 31 blocks
+            recirculation=True,
+            long_fraction=0.05,
+            runtime=RUNTIME,
+            flush_write_seconds=flush_ms / 1000.0,
+        )
+    )
+
+
+def main() -> None:
+    plentiful = run(25.0)  # 400 flushes/s of capacity
+    scarce = run(45.0)     # 222 flushes/s of capacity
+
+    rows = []
+    for name, result in (("25 ms (400/s)", plentiful), ("45 ms (222/s)", scarce)):
+        rows.append(
+            (
+                name,
+                result.transactions_killed,
+                round(result.total_bandwidth_wps, 2),
+                result.recirculated_records,
+                result.flush_peak_backlog,
+                f"{result.flush_mean_seek_distance:,.0f}",
+            )
+        )
+    print("EL with recirculation at 31 blocks (20 + 11), 5% mix:\n")
+    print(format_table(
+        ["flush transfer", "kills", "log w/s", "recirculated",
+         "peak backlog", "mean oid seek"],
+        rows,
+    ))
+
+    gain = plentiful.flush_mean_seek_distance / scarce.flush_mean_seek_distance
+    print(f"\nUnder scarcity the mean seek distance between successive "
+          f"flushes drops by {gain:.1f}x")
+    print("(the paper observed ~235,000 -> ~109,000): the backlog makes "
+          "flushing more sequential.")
+    assert scarce.no_kills, "EL absorbs the backlog without killing anyone"
+
+
+if __name__ == "__main__":
+    main()

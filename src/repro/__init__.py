@@ -1,0 +1,64 @@
+"""repro — a reproduction of "Performance Evaluation of Ephemeral Logging"
+(John S. Keen and William J. Dally, SIGMOD 1993).
+
+The package implements ephemeral logging (EL), the firewall baseline (FW),
+the EL–FW hybrid sketch, the paper's event-driven simulation environment,
+and an experiment harness that regenerates every figure in the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    config = SimulationConfig.ephemeral((18, 16), recirculation=False,
+                                        long_fraction=0.05, runtime=60.0)
+    result = run_simulation(config)
+    print(result.summary())
+"""
+
+from repro.core.ephemeral import EphemeralLogManager
+from repro.core.firewall import FirewallLogManager
+from repro.core.hybrid import HybridLogManager
+from repro.core.interface import LogManager, UnflushedHeadPolicy
+from repro.core.killpolicy import KillPolicy
+from repro.core.placement import LifetimePlacementPolicy
+from repro.core.sizing import SizingAdvice, recommend_generation_sizes
+from repro.harness.config import SimulationConfig, Technique
+from repro.harness.results import SimulationResult
+from repro.harness.scale import Scale
+from repro.harness.search import SpaceSearch, minimum_el_sizes, minimum_fw_blocks
+from repro.harness.simulator import Simulation, run_simulation
+from repro.recovery.single_pass import SinglePassRecovery
+from repro.recovery.two_pass import TwoPassRecovery
+from repro.recovery.verify import RecoveryVerifier
+from repro.workload.spec import TransactionType, WorkloadMix, paper_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EphemeralLogManager",
+    "FirewallLogManager",
+    "HybridLogManager",
+    "KillPolicy",
+    "LifetimePlacementPolicy",
+    "LogManager",
+    "RecoveryVerifier",
+    "SizingAdvice",
+    "Scale",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SinglePassRecovery",
+    "SpaceSearch",
+    "Technique",
+    "TransactionType",
+    "TwoPassRecovery",
+    "UnflushedHeadPolicy",
+    "WorkloadMix",
+    "minimum_el_sizes",
+    "minimum_fw_blocks",
+    "paper_mix",
+    "recommend_generation_sizes",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Examples::
+
+    repro run --technique el --sizes 18,16 --no-recirculation --runtime 120
+    repro search --technique fw --mix 0.05 --runtime 120
+    repro figure 4            # also 5, 6, 7, scarce, headline
+    repro recover --crash-at 40 --runtime 60
+    repro cache clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.config import SimulationConfig, Technique
+from repro.harness.experiments import (
+    headline_claims,
+    run_figure_7,
+    run_figures_4_5_6,
+    run_scarce_flush,
+)
+from repro.harness.scale import Scale
+from repro.harness.search import SpaceSearch
+from repro.harness.simulator import Simulation, run_simulation
+from repro.harness.sweep import SweepCache
+from repro.core.sizing import recommend_generation_sizes
+from repro.recovery.single_pass import SinglePassRecovery
+from repro.recovery.verify import RecoveryVerifier
+from repro.workload.spec import paper_mix
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _base_config(args: argparse.Namespace) -> SimulationConfig:
+    technique = Technique(args.technique)
+    sizes = _parse_sizes(args.sizes)
+    if technique is Technique.FIREWALL:
+        sizes = sizes[:1]
+    return SimulationConfig(
+        technique=technique,
+        generation_sizes=sizes,
+        recirculation=(
+            technique is not Technique.FIREWALL and not args.no_recirculation
+        ),
+        long_fraction=args.mix,
+        runtime=args.runtime,
+        seed=args.seed,
+        flush_write_seconds=args.flush_ms / 1000.0,
+    )
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--technique", choices=[t.value for t in Technique], default="el"
+    )
+    parser.add_argument(
+        "--sizes",
+        default="18,16",
+        help="comma-separated generation sizes in blocks (FW uses the first)",
+    )
+    parser.add_argument("--no-recirculation", action="store_true")
+    parser.add_argument(
+        "--mix", type=float, default=0.05, help="fraction of 10s transactions"
+    )
+    parser.add_argument("--runtime", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--flush-ms", type=float, default=25.0, help="flush transfer time (ms)"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_simulation(_base_config(args))
+    print(f"technique            : {result.technique}")
+    print(f"generation sizes     : {result.generation_sizes}")
+    print(f"recirculation        : {result.recirculation}")
+    print(f"transactions         : {result.transactions_begun} begun, "
+          f"{result.transactions_committed} committed, "
+          f"{result.transactions_killed} killed")
+    print(f"log bandwidth        : {result.total_bandwidth_wps:.2f} writes/s "
+          f"({', '.join(f'{g.bandwidth_wps:.2f}' for g in result.generations)})")
+    print(f"forwarded/recirc     : {result.forwarded_records} / "
+          f"{result.recirculated_records} records")
+    print(f"flushes              : {result.flushes_completed} scheduled, "
+          f"{result.demand_flushes} on demand, peak backlog "
+          f"{result.flush_peak_backlog}")
+    print(f"mean flush seek      : {result.flush_mean_seek_distance:,.0f} oid units")
+    print(f"memory peak          : {result.memory_peak_bytes} bytes")
+    print(f"mean commit latency  : {result.mean_commit_latency*1000:.1f} ms")
+    if result.failed:
+        print(f"FAILED               : {result.failed}")
+    return 0 if result.no_kills else 1
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    config = _base_config(args)
+    search = SpaceSearch(config)
+    if config.technique is Technique.FIREWALL:
+        outcome = search.fw_minimum()
+    else:
+        scale = Scale.from_env()
+        outcome = search.el_minimum(
+            scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
+        )
+    print(f"minimum sizes        : {outcome.sizes} "
+          f"({outcome.total_blocks} blocks total)")
+    print(f"bandwidth at minimum : {outcome.result.total_bandwidth_wps:.2f} writes/s")
+    print(f"memory peak          : {outcome.result.memory_peak_bytes} bytes")
+    print(f"search runs          : {outcome.runs}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = Scale.from_env()
+    cache = SweepCache(enabled=not args.no_cache)
+    which = args.which
+    if which in ("4", "5", "6"):
+        result = run_figures_4_5_6(scale, seed=args.seed, cache=cache)
+        text = {
+            "4": result.figure4_text,
+            "5": result.figure5_text,
+            "6": result.figure6_text,
+        }[which]()
+    elif which == "7":
+        text = run_figure_7(scale, seed=args.seed, cache=cache).figure7_text()
+    elif which == "scarce":
+        text = run_scarce_flush(scale, seed=args.seed, cache=cache).text()
+    elif which == "headline":
+        text = headline_claims(scale, seed=args.seed, cache=cache).text()
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(which)
+    print(f"[scale: {scale.label}]")
+    print(text)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    config = _base_config(args).replace(collect_truth=True)
+    simulation = Simulation(config)
+    simulation.run_until(args.crash_at)
+    images = simulation.capture_durable_log()
+    stable = simulation.capture_stable_database()
+    recovery = SinglePassRecovery(images)
+    recovered = recovery.recover(stable)
+    verifier = RecoveryVerifier(simulation.generator.acked_updates)
+    verdict = verifier.verify(args.crash_at, recovered)
+    print(f"crash at             : t={args.crash_at:.2f}s")
+    print(f"durable log blocks   : {len(images)}")
+    print(f"stable DB objects    : {len(stable)}")
+    print(f"records applied      : {recovery.records_applied}")
+    print(f"loser records skipped: {recovery.records_skipped_loser}")
+    print(f"expected objects     : {verdict.expected_objects}")
+    print(f"verification         : {'OK' if verdict.ok else 'FAILED'}")
+    for oid, expected, got in verdict.mismatches[:10]:
+        print(f"  mismatch oid={oid}: expected {expected}, recovered {got}")
+    return 0 if verdict.ok else 1
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    mix = paper_mix(args.mix)
+    advice = recommend_generation_sizes(
+        mix,
+        args.rate,
+        generations=args.generations,
+        recirculation_headroom=1.0 if args.no_recirculation else 0.5,
+    )
+    print(f"workload             : {mix!r} at {args.rate:g} TPS")
+    print(f"recommended sizes    : {list(advice.generation_sizes)} blocks "
+          f"({advice.total_blocks} total)")
+    print(f"modelled residencies : "
+          f"{', '.join(f'{r:.2f}s' for r in advice.residencies)}")
+    print(f"modelled inflow      : "
+          f"{', '.join(f'{b:,.0f} B/s' for b in advice.inflow_bytes_per_second)}")
+    if args.validate:
+        result = run_simulation(
+            SimulationConfig.ephemeral(
+                advice.generation_sizes,
+                recirculation=not args.no_recirculation,
+                long_fraction=args.mix,
+                arrival_rate=args.rate,
+                runtime=args.runtime,
+            )
+        )
+        verdict = "sustains the workload" if result.no_kills else (
+            f"KILLED {result.transactions_killed} transactions"
+        )
+        print(f"validation ({args.runtime:g}s) : {verdict}, "
+              f"{result.total_bandwidth_wps:.2f} writes/s")
+        return 0 if result.no_kills else 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = SweepCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+    else:
+        directory = cache.directory
+        files = sorted(directory.glob("*.json")) if directory.is_dir() else []
+        print(f"cache directory: {directory} ({len(files)} entries)")
+        for path in files:
+            print(f"  {path.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Performance Evaluation of Ephemeral Logging' "
+            "(Keen & Dally, SIGMOD 1993)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    _add_run_options(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    search_parser = sub.add_parser("search", help="minimum-space search")
+    _add_run_options(search_parser)
+    search_parser.set_defaults(func=_cmd_search)
+
+    figure_parser = sub.add_parser("figure", help="reproduce a paper artifact")
+    figure_parser.add_argument(
+        "which", choices=["4", "5", "6", "7", "scarce", "headline"]
+    )
+    figure_parser.add_argument("--seed", type=int, default=0)
+    figure_parser.add_argument("--no-cache", action="store_true")
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    recover_parser = sub.add_parser("recover", help="crash + recovery demo")
+    _add_run_options(recover_parser)
+    recover_parser.add_argument("--crash-at", type=float, default=40.0)
+    recover_parser.set_defaults(func=_cmd_recover)
+
+    advise_parser = sub.add_parser(
+        "advise", help="recommend generation sizes for a workload (§6 tool)"
+    )
+    advise_parser.add_argument("--mix", type=float, default=0.05)
+    advise_parser.add_argument("--rate", type=float, default=100.0)
+    advise_parser.add_argument("--generations", type=int, default=2)
+    advise_parser.add_argument("--no-recirculation", action="store_true")
+    advise_parser.add_argument("--validate", action="store_true")
+    advise_parser.add_argument("--runtime", type=float, default=60.0)
+    advise_parser.set_defaults(func=_cmd_advise)
+
+    cache_parser = sub.add_parser("cache", help="inspect or clear the sweep cache")
+    cache_parser.add_argument("action", choices=["list", "clear"])
+    cache_parser.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

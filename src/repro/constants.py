@@ -1,0 +1,65 @@
+"""Fixed parameters from the paper (Keen & Dally, SIGMOD 1993, section 3).
+
+These are the values the paper's simulator hard-wires.  The library keeps
+them as module-level constants and threads them through
+:class:`repro.harness.config.SimulationConfig`, whose defaults reference
+this module, so experiments can override any of them while the paper-exact
+values stay in one place.
+"""
+
+from __future__ import annotations
+
+#: Physical size of a disk block in bytes ("A block size of 2048 is typical").
+BLOCK_PHYSICAL_BYTES = 2048
+
+#: Bytes of each block usable for log records (48 bytes are bookkeeping).
+BLOCK_PAYLOAD_BYTES = 2000
+
+#: Minimum number of free blocks the log manager keeps between the tail and
+#: the head of every generation ("this threshold distance is currently fixed
+#: at k = 2 blocks").
+GAP_THRESHOLD_BLOCKS = 2
+
+#: Number of block buffers provided for each generation.
+BUFFERS_PER_GENERATION = 4
+
+#: Size in bytes of a BEGIN or COMMIT (or ABORT) transaction log record.
+TX_RECORD_BYTES = 8
+
+#: Seconds between a transaction's last data log record and its COMMIT
+#: record (epsilon in Figure 3; fixed at 1 ms).
+EPSILON_SECONDS = 0.001
+
+#: Seconds to transfer a log buffer's contents to disk (tau_Disk_Write).
+LOG_WRITE_SECONDS = 0.015
+
+#: Total number of objects in the database (NUM_OBJECTS).
+NUM_OBJECTS = 10_000_000
+
+#: Estimated main-memory bytes per transaction for the firewall technique.
+FW_BYTES_PER_TRANSACTION = 22
+
+#: Estimated main-memory bytes per transaction entry (LTT) for EL.
+EL_BYTES_PER_TRANSACTION = 40
+
+#: Estimated main-memory bytes per updated-but-unflushed object (LOT) for EL.
+EL_BYTES_PER_OBJECT = 40
+
+#: Default number of flush disk drives in the experiments.
+FLUSH_DRIVES = 10
+
+#: Per-block flush transfer time in the main experiments (seconds).  The
+#: conservative 25 ms "allows for some read operations to be interspersed".
+FLUSH_WRITE_SECONDS = 0.025
+
+#: Per-block flush transfer time in the scarce-bandwidth experiment.
+FLUSH_WRITE_SECONDS_SCARCE = 0.045
+
+#: Transaction arrival rate used throughout the evaluation (transactions/s).
+ARRIVAL_RATE_TPS = 100.0
+
+#: Simulated time span used throughout the evaluation (seconds).
+RUNTIME_SECONDS = 500.0
+
+#: Number of generations used by all EL experiments in the paper.
+EL_GENERATIONS = 2

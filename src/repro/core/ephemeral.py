@@ -1,0 +1,583 @@
+"""Ephemeral logging — the paper's primary contribution.
+
+:class:`EphemeralLogManager` manages the log as a chain of fixed-size
+generations.  New records enter a transaction's home generation (generation
+0 unless a lifetime placement policy is installed).  Whenever a tail
+reservation leaves fewer than ``k`` free blocks, the head advances: garbage
+record copies are discarded, live records are forwarded to the next
+generation (or recirculated within the last one), committed-but-unflushed
+updates are demand-flushed or kept in the log per policy, and — only when
+nothing else can free space — a live transaction is killed.
+
+In tandem, a :class:`~repro.core.flushqueue.FlushScheduler` continuously
+flushes committed updates to the stable database so that their records are
+already garbage when they reach a head.
+
+The firewall baseline is this same machinery restricted to one generation
+with recirculation disabled (see :mod:`repro.core.firewall`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constants import (
+    BUFFERS_PER_GENERATION,
+    BLOCK_PAYLOAD_BYTES,
+    GAP_THRESHOLD_BLOCKS,
+    LOG_WRITE_SECONDS,
+)
+from repro.core.cells import Cell
+from repro.core.flushqueue import FlushScheduler
+from repro.core.generation import Generation
+from repro.core.interface import CommitAckCallback, LogManager, UnflushedHeadPolicy
+from repro.core.killpolicy import KillPolicy
+from repro.core.lot import LoggedObjectTable
+from repro.core.ltt import LoggedTransactionTable, LttEntry, TxStatus
+from repro.core.memory import MemoryModel
+from repro.core.placement import LifetimePlacementPolicy
+from repro.db.database import StableDatabase
+from repro.disk.block import BlockImage
+from repro.disk.partition import RangePartitioner
+from repro.errors import ConfigurationError, SimulationError
+from repro.records.base import LogRecord, next_lsn_factory
+from repro.records.data import DataLogRecord
+from repro.records.tx import AbortRecord, BeginRecord, CommitRecord
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACE, TraceLog
+
+
+class EphemeralLogManager(LogManager):
+    """The ephemeral logging manager (EL)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        database: StableDatabase,
+        *,
+        generation_sizes: Sequence[int],
+        recirculation: bool = True,
+        flush_drives: int = 10,
+        flush_write_seconds: float = 0.025,
+        payload_bytes: int = BLOCK_PAYLOAD_BYTES,
+        buffer_count: int = BUFFERS_PER_GENERATION,
+        gap_blocks: int = GAP_THRESHOLD_BLOCKS,
+        log_write_seconds: float = LOG_WRITE_SECONDS,
+        unflushed_head_policy: UnflushedHeadPolicy = UnflushedHeadPolicy.KEEP_IN_LOG,
+        kill_policy: KillPolicy = KillPolicy.BLOCKING,
+        placement: Optional[LifetimePlacementPolicy] = None,
+        memory_model: Optional[MemoryModel] = None,
+        trace: TraceLog = NULL_TRACE,
+    ):
+        sizes = list(generation_sizes)
+        if not sizes:
+            raise ConfigurationError("need at least one generation")
+        if any(s < gap_blocks + 1 for s in sizes):
+            raise ConfigurationError(
+                f"every generation needs more than the gap of {gap_blocks} "
+                f"blocks; got sizes {sizes}"
+            )
+        self.sim = sim
+        self.database = database
+        self.recirculation = recirculation
+        self.gap_blocks = gap_blocks
+        self.unflushed_head_policy = unflushed_head_policy
+        self.kill_policy = kill_policy
+        self.placement = placement
+        self.memory_model = memory_model or MemoryModel.ephemeral()
+        self.trace = trace
+
+        self._next_lsn = next_lsn_factory()
+        self.lot = LoggedObjectTable()
+        self.ltt = LoggedTransactionTable()
+        self.generations: List[Generation] = [
+            Generation(
+                sim,
+                index,
+                size,
+                payload_bytes=payload_bytes,
+                buffer_count=buffer_count,
+                write_seconds=log_write_seconds,
+                on_block_durable=self._handle_block_durable,
+            )
+            for index, size in enumerate(sizes)
+        ]
+        for generation in self.generations:
+            generation.pre_reserve = self._pre_reserve_hook
+
+        partitioner = RangePartitioner(database.num_objects, flush_drives)
+        self.scheduler = FlushScheduler(
+            sim,
+            database,
+            partitioner,
+            flush_drives,
+            flush_write_seconds,
+            self._handle_flush_complete,
+        )
+
+        # COMMIT LSN -> (tid, ack callback) awaiting group-commit durability.
+        self._pending_acks: Dict[int, Tuple[int, CommitAckCallback]] = {}
+        # Per target generation: source (gen, slot) pairs of records sitting
+        # in its open migration buffer; per source generation: guarded slots.
+        self._migration_sources: List[Set[Tuple[int, int]]] = [set() for _ in sizes]
+        self._guarded_slots: List[Set[int]] = [set() for _ in sizes]
+        self._advancing = [False] * len(sizes)
+        self._pressure = [False] * len(sizes)
+
+        # Hook the workload installs to learn about kills.
+        self.on_kill: Optional[Callable[[int, float], None]] = None
+
+        # Counters.
+        self.fresh_records = 0
+        self.forwarded_records = 0
+        self.recirculated_records = 0
+        self.garbage_copies_discarded = 0
+        self.begun_count = 0
+        self.committed_count = 0
+        self.aborted_count = 0
+        self.kill_count = 0
+        self.killed_tids: List[int] = []
+        self.forced_migration_seals = 0
+        self.pressure_episodes = 0
+        #: Records of COMMIT_PENDING transactions recirculated in the last
+        #: generation even with recirculation disabled (see
+        #: :meth:`_route_head_records`).
+        self.emergency_recirculations = 0
+
+    # ==================================================================
+    # LogManager API
+    # ==================================================================
+    def begin(self, tid: int, expected_lifetime: Optional[float] = None) -> None:
+        entry = self.ltt.begin(tid, self.sim.now)
+        if self.placement is not None:
+            entry.home_generation = self.placement.generation_for(
+                expected_lifetime, len(self.generations)
+            )
+        record = BeginRecord(self._next_lsn(), tid, self.sim.now)
+        self.begun_count += 1
+        address, reserved = self.generations[entry.home_generation].append(record)
+        cell = Cell(record, address)
+        self.generations[entry.home_generation].cells.append_tail(cell)
+        entry.tx_cell = cell
+        self.fresh_records += 1
+        if reserved:
+            self._ensure_gap(entry.home_generation)
+
+    def log_update(self, tid: int, oid: int, value: int, size: int) -> int:
+        entry = self.ltt.require(tid)
+        if entry.status is not TxStatus.ACTIVE:
+            raise SimulationError(f"tx {tid} is {entry.status.value}, cannot update")
+        record = DataLogRecord(self._next_lsn(), tid, self.sim.now, size, oid, value)
+        generation = self.generations[entry.home_generation]
+        address, reserved = generation.append(record)
+        cell = Cell(record, address)
+        generation.cells.append_tail(cell)
+        self.lot.add_uncommitted(cell)
+        entry.oids.add(oid)
+        self.fresh_records += 1
+        if reserved:
+            self._ensure_gap(entry.home_generation)
+        return record.lsn
+
+    def request_commit(self, tid: int, on_ack: CommitAckCallback) -> None:
+        entry = self.ltt.require(tid)
+        if entry.status is not TxStatus.ACTIVE:
+            raise SimulationError(f"tx {tid} is {entry.status.value}, cannot commit")
+        record = CommitRecord(self._next_lsn(), tid, self.sim.now)
+        generation = self.generations[entry.home_generation]
+        address, reserved = generation.append(record)
+        self._repoint_tx_cell(entry, record, address)
+        entry.status = TxStatus.COMMIT_PENDING
+        entry.commit_lsn = record.lsn
+        self._pending_acks[record.lsn] = (tid, on_ack)
+        self.fresh_records += 1
+        if reserved:
+            self._ensure_gap(entry.home_generation)
+
+    def abort(self, tid: int) -> None:
+        entry = self.ltt.require(tid)
+        if entry.status is not TxStatus.ACTIVE:
+            # Aborting after the COMMIT record reached the log would race
+            # with group commit: the record may already be durable.
+            raise SimulationError(f"tx {tid} is {entry.status.value}, cannot abort")
+        # "An abort is easy to handle.  All data and tx log records from an
+        # aborted transaction immediately become garbage."
+        record = AbortRecord(self._next_lsn(), tid, self.sim.now)
+        generation = self.generations[entry.home_generation]
+        _, reserved = generation.append(record)
+        self.fresh_records += 1
+        self._discard_transaction(entry)
+        self.aborted_count += 1
+        if reserved:
+            self._ensure_gap(entry.home_generation)
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    def memory_bytes(self) -> int:
+        return self.memory_model.bytes_used(len(self.ltt), len(self.lot))
+
+    def log_blocks_written(self) -> int:
+        return sum(g.blocks_written for g in self.generations)
+
+    def total_log_capacity(self) -> int:
+        return sum(g.capacity for g in self.generations)
+
+    def blocks_written_by_generation(self) -> List[int]:
+        return [g.blocks_written for g in self.generations]
+
+    def drain(self) -> None:
+        """Seal every open buffer (used before crash points and at shutdown)."""
+        for generation in self.generations:
+            if generation.seal_migration():
+                self._clear_migration_sources(generation.index)
+            if generation.current is not None:
+                generation.seal_current()
+
+    def durable_images(self) -> List[BlockImage]:
+        """All block images currently on disk — the crash-recovery input."""
+        images: List[BlockImage] = []
+        for generation in self.generations:
+            images.extend(generation.durable.values())
+        return images
+
+    def check_invariants(self) -> None:
+        """Structural invariants for tests; raises on violation."""
+        for generation in self.generations:
+            generation.cells.check_invariants()
+            for cell in generation.cells.iter_from_head():
+                if cell.record.cell is not cell:
+                    raise SimulationError("linked cell lost its record")
+                if cell.address.generation != generation.index:
+                    raise SimulationError("cell linked under wrong generation")
+        for lot_entry in self.lot.entries():
+            if lot_entry.empty:
+                raise SimulationError(f"empty LOT entry for oid {lot_entry.oid}")
+            cells = list(lot_entry.uncommitted_cells.values())
+            if lot_entry.committed_cell is not None:
+                cells.append(lot_entry.committed_cell)
+            for cell in cells:
+                if cell.list is None:
+                    raise SimulationError("LOT cell not linked in any generation")
+        for entry in self.ltt.entries():
+            if entry.status is TxStatus.ABORTED:
+                raise SimulationError("aborted tx still in LTT")
+            if entry.settled:
+                raise SimulationError(f"settled tx {entry.tid} still in LTT")
+
+    # ==================================================================
+    # Head advancement
+    # ==================================================================
+    def _ensure_gap(self, gen_index: int) -> None:
+        """Advance the head of ``gen_index`` until ``free >= gap_blocks``.
+
+        For a non-last generation the episode ends with the paper's
+        gather-and-write discipline: if any record was forwarded, the LM
+        "works backward from the head to gather enough other non-garbage
+        log records to fill the buffer" and then writes the forwarded group
+        immediately.
+        """
+        if self._advancing[gen_index]:
+            return
+        self._advancing[gen_index] = True
+        generation = self.generations[gen_index]
+        processed = 0
+        forwarded_before = self.forwarded_records
+        pressure_threshold = generation.capacity + 4
+        try:
+            while generation.array.free < self.gap_blocks:
+                if not self._advance_head_once(gen_index):
+                    victim = self.kill_policy.choose_victim(self.ltt, None)
+                    self._kill(victim, reason="unprocessable-head")
+                    continue
+                processed += 1
+                if processed == pressure_threshold and not self._pressure[gen_index]:
+                    # One full lap without restoring the gap: the generation
+                    # is saturated with committed-but-unflushed records.
+                    # Demand-flush them instead of recirculating before
+                    # resorting to kills.
+                    self._pressure[gen_index] = True
+                    self.pressure_episodes += 1
+                elif processed >= 2 * pressure_threshold:
+                    victim = self.kill_policy.choose_victim(self.ltt, None)
+                    self._kill(victim, reason="recirculation-livelock")
+                    processed = pressure_threshold
+            if (
+                gen_index < len(self.generations) - 1
+                and self.forwarded_records > forwarded_before
+            ):
+                self._gather_and_seal_forwarded(gen_index)
+        finally:
+            self._pressure[gen_index] = False
+            self._advancing[gen_index] = False
+
+    def _gather_and_seal_forwarded(self, gen_index: int) -> None:
+        """Fill the next generation's migration buffer, then write it.
+
+        Records forwarded out of generation ``gen_index`` must reach disk
+        promptly because their source blocks have been reclaimed; to avoid
+        writing a nearly empty block, the LM "works backward from the head"
+        — along the cell list from ``h_i`` — and forwards the oldest
+        non-garbage records early until the buffer is full.  Their original
+        copies stay physically in place and are discarded as stale when the
+        head eventually reaches them; only the blocks the gap demanded were
+        actually reclaimed.
+        """
+        generation = self.generations[gen_index]
+        target = self.generations[gen_index + 1]
+        buffer = target.migration
+        if buffer is None or buffer.image is None:
+            return
+        free_bytes = buffer.image.free_bytes
+        candidates: List[Cell] = []
+        demand_flush_committed = (
+            self.unflushed_head_policy is UnflushedHeadPolicy.DEMAND_FLUSH
+        )
+        for cell in generation.cells.iter_from_head():
+            record = cell.record
+            if demand_flush_committed and isinstance(record, DataLogRecord):
+                entry = self.ltt.get(record.tid)
+                if entry is not None and entry.status is TxStatus.COMMITTED:
+                    continue  # the head will flush it; don't carry it along
+            if record.size > free_bytes:
+                break
+            candidates.append(cell)
+            free_bytes -= record.size
+        for cell in candidates:
+            self._migrate(cell.record, gen_index, target)
+            self.forwarded_records += 1
+        if target.seal_migration():
+            self._clear_migration_sources(target.index)
+
+    def _advance_head_once(self, gen_index: int) -> bool:
+        generation = self.generations[gen_index]
+        if generation.array.empty:
+            return False
+        if generation.head_image() is None:
+            buffer = generation.head_is_open_buffer()
+            if buffer is None:
+                return False
+            if buffer is generation.current:
+                generation.seal_current()
+            else:
+                generation.seal_migration()
+                self._clear_migration_sources(gen_index)
+        image = generation.free_head()
+        self._route_head_records(gen_index, image)
+        return True
+
+    def _route_head_records(self, gen_index: int, image: BlockImage) -> None:
+        """Apply the three possible fates to each record copy at the head."""
+        last = len(self.generations) - 1
+        for record in image.records:
+            cell = record.cell
+            if cell is None or cell.address != image.address:
+                # Garbage, or a stale copy of a record that moved on.
+                self.garbage_copies_discarded += 1
+                continue
+            entry = self.ltt.get(record.tid)
+            if entry is None:
+                raise SimulationError(
+                    f"live record lsn={record.lsn} has no LTT entry"
+                )
+            if isinstance(record, DataLogRecord) and entry.status is TxStatus.COMMITTED:
+                must_flush = (
+                    self.unflushed_head_policy is UnflushedHeadPolicy.DEMAND_FLUSH
+                    or (gen_index == last and not self.recirculation)
+                    or self._pressure[gen_index]
+                )
+                if must_flush:
+                    self.scheduler.demand_flush(record)
+                    continue
+            elif record.kind.is_tx and entry.status is TxStatus.COMMITTED:
+                if gen_index == last and not self.recirculation:
+                    # The COMMIT record cannot be retained; make it garbage
+                    # by flushing the transaction's remaining updates.
+                    self._settle_by_demand_flush(entry)
+                    continue
+            if gen_index < last:
+                self._migrate(record, gen_index, self.generations[gen_index + 1])
+                self.forwarded_records += 1
+            elif self.recirculation:
+                self._migrate(record, gen_index, self.generations[gen_index])
+                self.recirculated_records += 1
+            elif entry.status is TxStatus.COMMIT_PENDING:
+                # The COMMIT record is already on its way to disk, so the
+                # transaction can be neither killed (recovery might redo
+                # unacknowledged work) nor flushed (not yet durable).  Keep
+                # its records moving for the short group-commit window.
+                self._migrate(record, gen_index, self.generations[gen_index])
+                self.emergency_recirculations += 1
+            else:
+                # An active transaction's record reached the head of the
+                # last generation with nowhere to go: kill until it is
+                # garbage.
+                while record.cell is not None:
+                    victim = self.kill_policy.choose_victim(self.ltt, record.tid)
+                    self._kill(victim, reason="head-of-last-generation")
+
+    def _migrate(self, record: LogRecord, source_index: int, target: Generation) -> None:
+        cell = record.cell
+        assert cell is not None
+        source_slot = cell.address.slot
+        address, reserved, sealed_full = target.append_migrated(record)
+        if sealed_full:
+            self._clear_migration_sources(target.index)
+        self._migration_sources[target.index].add((source_index, source_slot))
+        self._guarded_slots[source_index].add(source_slot)
+        assert cell.list is not None
+        cell.list.remove(cell)
+        cell.address = address
+        target.cells.append_tail(cell)
+        if reserved:
+            self._ensure_gap(target.index)
+
+    # ==================================================================
+    # Migration-buffer safety
+    # ==================================================================
+    def _pre_reserve_hook(self, generation: Generation, slot: int) -> None:
+        """Seal migration buffers whose source slot is about to be reused."""
+        if slot not in self._guarded_slots[generation.index]:
+            return
+        source_index = generation.index
+        for target_index, sources in enumerate(self._migration_sources):
+            if any(src_gen == source_index and src_slot == slot for src_gen, src_slot in sources):
+                target = self.generations[target_index]
+                if target.seal_migration():
+                    self.forced_migration_seals += 1
+                self._clear_migration_sources(target_index)
+
+    def _clear_migration_sources(self, target_index: int) -> None:
+        sources = self._migration_sources[target_index]
+        if not sources:
+            return
+        self._migration_sources[target_index] = set()
+        self._rebuild_guarded_slots()
+
+    def _rebuild_guarded_slots(self) -> None:
+        for guarded in self._guarded_slots:
+            guarded.clear()
+        for sources in self._migration_sources:
+            for src_gen, src_slot in sources:
+                self._guarded_slots[src_gen].add(src_slot)
+
+    # ==================================================================
+    # Commit / flush / kill plumbing
+    # ==================================================================
+    def _handle_block_durable(self, generation: Generation, image: BlockImage) -> None:
+        if not self._pending_acks:
+            return
+        for record in image.records:
+            pending = self._pending_acks.pop(record.lsn, None)
+            if pending is not None:
+                self._commit_durable(*pending)
+
+    def _commit_durable(self, tid: int, on_ack: CommitAckCallback) -> None:
+        entry = self.ltt.get(tid)
+        if entry is None or entry.status is not TxStatus.COMMIT_PENDING:
+            return  # the transaction was killed while the write was in flight
+        entry.status = TxStatus.COMMITTED
+        entry.commit_time = self.sim.now
+        entry.commit_lsn = None
+        for oid in list(entry.oids):
+            superseded = self.lot.promote_on_commit(tid, oid)
+            if superseded is not None:
+                # "If a data log record for an earlier committed update
+                # existed, it is now garbage."
+                old_record = superseded.record
+                self._dispose_cell(superseded)
+                old_entry = self.ltt.get(old_record.tid)
+                if old_entry is not None:
+                    old_entry.oids.discard(oid)
+                    self._maybe_settle(old_entry)
+            lot_entry = self.lot.get(oid)
+            assert lot_entry is not None and lot_entry.committed_cell is not None
+            committed_record = lot_entry.committed_cell.record
+            assert isinstance(committed_record, DataLogRecord)
+            self.scheduler.submit(committed_record)
+        self.committed_count += 1
+        self._maybe_settle(entry)
+        on_ack(tid, self.sim.now)
+
+    def _handle_flush_complete(self, record: DataLogRecord) -> None:
+        cell = record.cell
+        if cell is None:
+            return  # superseded (or already demand-flushed) while in service
+        lot_entry = self.lot.get(record.oid)
+        if lot_entry is None or lot_entry.committed_cell is not cell:
+            return
+        self.lot.drop_committed(record.oid)
+        self._dispose_cell(cell)
+        entry = self.ltt.get(record.tid)
+        if entry is not None:
+            entry.oids.discard(record.oid)
+            self._maybe_settle(entry)
+
+    def _settle_by_demand_flush(self, entry: LttEntry) -> None:
+        for oid in list(entry.oids):
+            lot_entry = self.lot.get(oid)
+            assert lot_entry is not None and lot_entry.committed_cell is not None
+            record = lot_entry.committed_cell.record
+            assert isinstance(record, DataLogRecord)
+            self.scheduler.demand_flush(record)
+
+    def _kill(self, tid: int, reason: str) -> None:
+        """Kill an active transaction to reclaim log space."""
+        entry = self.ltt.require(tid)
+        if entry.status is not TxStatus.ACTIVE:
+            raise SimulationError(
+                f"cannot kill {entry.status.value} tx {tid}: once its COMMIT "
+                f"record reaches the log its fate belongs to the disk"
+            )
+        self._discard_transaction(entry)
+        self.kill_count += 1
+        self.killed_tids.append(tid)
+        self.trace.emit(self.sim.now, "lm", "kill", {"tid": tid, "reason": reason})
+        if self.on_kill is not None:
+            self.on_kill(tid, self.sim.now)
+
+    def _discard_transaction(self, entry: LttEntry) -> None:
+        """Garbage every record of a live transaction and drop its entry."""
+        for oid in list(entry.oids):
+            cell = self.lot.drop_uncommitted(entry.tid, oid)
+            self._dispose_cell(cell)
+        entry.oids.clear()
+        if entry.commit_lsn is not None:
+            self._pending_acks.pop(entry.commit_lsn, None)
+            entry.commit_lsn = None
+        if entry.tx_cell is not None:
+            self._dispose_cell(entry.tx_cell)
+            entry.tx_cell = None
+        entry.status = TxStatus.ABORTED
+        self.ltt.remove(entry.tid)
+
+    def _maybe_settle(self, entry: LttEntry) -> None:
+        """Retire a committed transaction once all its updates are flushed."""
+        if not entry.settled:
+            return
+        if entry.tx_cell is not None:
+            self._dispose_cell(entry.tx_cell)
+            entry.tx_cell = None
+        self.ltt.remove(entry.tid)
+
+    def _repoint_tx_cell(self, entry: LttEntry, record: LogRecord, address) -> None:
+        """Move the tx cell onto a newer tx record (paper §2.3 + footnote 4)."""
+        cell = entry.tx_cell
+        assert cell is not None
+        if cell.list is not None:
+            cell.list.remove(cell)
+        cell.repoint(record, address)
+        self.generations[address.generation].cells.append_tail(cell)
+
+    def _dispose_cell(self, cell: Cell) -> None:
+        if cell.list is not None:
+            cell.list.remove(cell)
+        if cell.record.cell is cell:
+            cell.record.cell = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [g.capacity for g in self.generations]
+        return (
+            f"<EphemeralLogManager generations={sizes} "
+            f"recirculation={self.recirculation} kills={self.kill_count}>"
+        )

@@ -1,0 +1,260 @@
+"""One generation: a circular queue of log blocks plus its RAM structures.
+
+A generation owns
+
+* the :class:`~repro.disk.circular.CircularBlockArray` doing head/tail/gap
+  accounting over its disk blocks,
+* the *logical* block contents (what the LM knows is destined for each
+  slot — set when a buffer is sealed) and the *durable* contents (what is
+  actually on disk — set when the 15 ms write completes; this is what crash
+  recovery may read),
+* the circular doubly-linked :class:`~repro.core.cells.CellList` of cells
+  for its non-garbage records, and
+* a :class:`~repro.core.buffers.BufferPool` feeding two tail channels:
+
+  - the **fresh** channel (``current``) receives newly written log records;
+  - the **migration** channel (``migration``) receives records arriving
+    from a head — forwarded from the previous generation or recirculated
+    within this one.  The paper fills such a buffer "as full as possible"
+    by grouping records "from the first several blocks at the head"; here
+    the buffer simply stays open until full, and the log manager's
+    pre-reserve hook force-seals it if any source block is about to be
+    overwritten, which preserves the same durability guarantee.
+
+Policy (what to do with records at the head) lives in the log managers;
+this class is purely mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.buffers import BlockBuffer, BufferPool
+from repro.core.cells import CellList
+from repro.disk.block import BlockAddress, BlockImage
+from repro.disk.circular import CircularBlockArray
+from repro.errors import SimulationError
+from repro.records.base import LogRecord
+from repro.sim.engine import Simulator
+
+#: Callback type fired when a block's disk write completes.
+BlockDurableCallback = Callable[["Generation", BlockImage], None]
+#: Callback type fired just before a tail slot is reserved.
+PreReserveCallback = Callable[["Generation", int], None]
+
+
+class Generation:
+    """Mechanical state and operations for one log generation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        capacity_blocks: int,
+        *,
+        payload_bytes: int,
+        buffer_count: int,
+        write_seconds: float,
+        on_block_durable: BlockDurableCallback,
+    ):
+        self.sim = sim
+        self.index = index
+        self.payload_bytes = payload_bytes
+        self.write_seconds = write_seconds
+        self.array = CircularBlockArray(capacity_blocks)
+        self.cells = CellList(index)
+        self.pool = BufferPool(buffer_count)
+        self._on_block_durable = on_block_durable
+        #: Hook the log manager installs to protect pending migration
+        #: buffers whose source slots are about to be overwritten.
+        self.pre_reserve: Optional[PreReserveCallback] = None
+
+        #: Sealed content per slot (the LM's view of the block).
+        self.logical: Dict[int, BlockImage] = {}
+        #: Completed-write content per slot (the crash-recovery view).
+        self.durable: Dict[int, BlockImage] = {}
+
+        self.current: Optional[BlockBuffer] = None
+        self.migration: Optional[BlockBuffer] = None
+
+        self.blocks_written = 0
+        self.bytes_written = 0
+        self.records_appended = 0
+        self.writes_in_flight = 0
+        self.peak_used = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.array.capacity
+
+    @property
+    def free_blocks(self) -> int:
+        return self.array.free
+
+    def head_image(self) -> Optional[BlockImage]:
+        """Sealed image at the head slot, or ``None`` if it can't be processed.
+
+        ``None`` means the queue is empty or the head slot's content is still
+        being assembled in a buffer (the head caught up with a reserved slot,
+        which only happens in pathologically small generations).
+        """
+        if self.array.empty:
+            return None
+        return self.logical.get(self.array.head)
+
+    def head_is_open_buffer(self) -> Optional[BlockBuffer]:
+        """The open buffer occupying the head slot, if any.
+
+        Lets the manager force-seal it so the head becomes processable when
+        a tiny generation wraps onto its own filling buffer.
+        """
+        if self.array.empty:
+            return None
+        head = self.array.head
+        for buffer in (self.current, self.migration):
+            if (
+                buffer is not None
+                and buffer.image is not None
+                and buffer.image.address.slot == head
+            ):
+                return buffer
+        return None
+
+    # ------------------------------------------------------------------
+    # Tail-side operations — fresh channel
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> tuple[BlockAddress, bool]:
+        """Add a fresh record to the tail, sealing/rotating buffers as needed.
+
+        Returns ``(address, reserved)`` where ``reserved`` reports whether a
+        new tail slot was taken — the caller must re-establish the head/tail
+        gap afterwards ("after addition of new records to the tail of a
+        generation, the LM advances the head").
+        """
+        reserved = False
+        if self.current is None:
+            self.current = self._start_buffer()
+            reserved = True
+        assert self.current.image is not None
+        if not self.current.image.fits(record):
+            self.seal_current()
+            self.current = self._start_buffer()
+            reserved = True
+        image = self.current.image
+        assert image is not None
+        image.add(record)
+        self.records_appended += 1
+        return image.address, reserved
+
+    def seal_current(self) -> None:
+        """Seal the fresh-channel buffer and issue its disk write."""
+        buffer = self.current
+        if buffer is None:
+            raise SimulationError(f"generation {self.index} has no current buffer")
+        self.current = None
+        self._issue_write(buffer)
+
+    # ------------------------------------------------------------------
+    # Tail-side operations — migration channel
+    # ------------------------------------------------------------------
+    def append_migrated(self, record: LogRecord) -> tuple[BlockAddress, bool, bool]:
+        """Add a forwarded/recirculated record to the migration buffer.
+
+        Returns ``(address, reserved, sealed_full)``; ``sealed_full`` tells
+        the caller a previous migration block just filled up and was written.
+        """
+        reserved = False
+        sealed_full = False
+        if self.migration is None:
+            self.migration = self._start_buffer()
+            reserved = True
+        assert self.migration.image is not None
+        if not self.migration.image.fits(record):
+            self.seal_migration()
+            sealed_full = True
+            self.migration = self._start_buffer()
+            reserved = True
+        image = self.migration.image
+        assert image is not None
+        image.add(record)
+        self.records_appended += 1
+        return image.address, reserved, sealed_full
+
+    def seal_migration(self) -> bool:
+        """Seal the migration buffer if it exists; returns whether it did."""
+        buffer = self.migration
+        if buffer is None:
+            return False
+        self.migration = None
+        self._issue_write(buffer)
+        return True
+
+    def seal_open_buffers(self) -> int:
+        """Seal both channels (end-of-run drain); returns buffers sealed."""
+        sealed = 0
+        if self.migration is not None:
+            self.seal_migration()
+            sealed += 1
+        if self.current is not None:
+            self.seal_current()
+            sealed += 1
+        return sealed
+
+    # ------------------------------------------------------------------
+    # Head-side operations
+    # ------------------------------------------------------------------
+    def free_head(self) -> BlockImage:
+        """Advance the head over one sealed block; returns its image."""
+        image = self.head_image()
+        if image is None:
+            raise SimulationError(
+                f"generation {self.index}: head block is not processable"
+            )
+        slot = self.array.free_head()
+        self.logical.pop(slot, None)
+        return image
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _start_buffer(self) -> BlockBuffer:
+        """Reserve a tail slot and attach a buffer to it.
+
+        The LM "knows the position of the disk block to which it will
+        eventually be written" as soon as the buffer starts, so the slot is
+        reserved here and its address is immediately valid for cells.
+        """
+        if self.pre_reserve is not None:
+            self.pre_reserve(self, self.array.tail)
+        slot = self.array.reserve_tail()
+        if self.array.used > self.peak_used:
+            self.peak_used = self.array.used
+        buffer = self.pool.acquire()
+        buffer.attach(BlockImage(BlockAddress(self.index, slot), self.payload_bytes))
+        return buffer
+
+    def _issue_write(self, buffer: BlockBuffer) -> None:
+        image = buffer.start_write()
+        slot = image.address.slot
+        self.logical[slot] = image
+        self.blocks_written += 1
+        self.bytes_written += image.payload_used
+        self.writes_in_flight += 1
+
+        def _complete() -> None:
+            self.writes_in_flight -= 1
+            self.durable[slot] = image
+            buffer.finish_write()
+            self._on_block_durable(self, image)
+
+        self.sim.after(self.write_seconds, _complete)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Generation {self.index} capacity={self.capacity} "
+            f"used={self.array.used} cells={len(self.cells)} "
+            f"writes={self.blocks_written}>"
+        )

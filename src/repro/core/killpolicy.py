@@ -1,0 +1,62 @@
+"""Transaction kill policies.
+
+Both techniques occasionally run out of log space: FW when the firewall
+transaction lives too long for the configured log ("System R's solution is
+to simply kill off excessively lengthy transactions"), EL when a record
+"cannot be recirculated because of an absence of space in the last
+generation".  The policy decides *which* transaction dies; the experiments
+only care *that* one died (the minimum-space search stops shrinking space at
+the first kill).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.ltt import TxStatus
+from repro.errors import LogFullError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ltt import LoggedTransactionTable
+
+
+class KillPolicy(enum.Enum):
+    """How to pick a victim when the log cannot otherwise free space."""
+
+    #: Kill the live transaction holding the blocking record (the paper's
+    #: behaviour: the record at the head belongs to the victim).
+    BLOCKING = "blocking"
+    #: Kill the oldest live transaction (usually the same transaction, but
+    #: well-defined even when the blockage is diffuse, e.g. recirculation
+    #: livelock).
+    OLDEST = "oldest"
+    #: Refuse to kill; raise :class:`~repro.errors.LogFullError` instead.
+    #: Useful in tests that must prove a configuration never needs kills.
+    FORBID = "forbid"
+
+    def choose_victim(
+        self, ltt: "LoggedTransactionTable", blocking_tid: Optional[int]
+    ) -> int:
+        """Return the tid to kill, or raise for :attr:`FORBID`.
+
+        ``blocking_tid`` is the owner of the record that prevented the head
+        from advancing, when the caller knows one.  Only ACTIVE transactions
+        are eligible — a transaction whose COMMIT record has reached the log
+        may already be durably committed, so killing it could contradict
+        recovery.
+        """
+        if self is KillPolicy.FORBID:
+            raise LogFullError(
+                f"log out of space (blocking tid: {blocking_tid}) and kills are forbidden"
+            )
+        if self is KillPolicy.BLOCKING and blocking_tid is not None:
+            entry = ltt.get(blocking_tid)
+            if entry is not None and entry.status is TxStatus.ACTIVE:
+                return blocking_tid
+        oldest = ltt.oldest_killable()
+        if oldest is None:
+            raise LogFullError(
+                "log out of space but no killable (active) transaction exists"
+            )
+        return oldest.tid

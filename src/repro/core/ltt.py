@@ -1,0 +1,144 @@
+"""The logged transaction table (LTT).
+
+"The LTT has an entry for every transaction with a non-garbage tx log
+record": every transaction currently in progress plus every committed
+transaction that still has non-garbage data records.  Each entry tracks the
+cell of the transaction's most recent tx record and the set of oids it
+updated.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Optional, Set
+
+from repro.core.cells import Cell
+from repro.errors import SimulationError
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of a transaction as the log manager sees it."""
+
+    ACTIVE = "active"
+    #: COMMIT record handed to the LM but not yet durable (group commit).
+    COMMIT_PENDING = "commit_pending"
+    #: COMMIT record on disk; updates are flushable.
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class LttEntry:
+    """Per-transaction bookkeeping."""
+
+    __slots__ = (
+        "tid",
+        "status",
+        "tx_cell",
+        "oids",
+        "begin_time",
+        "commit_time",
+        "commit_lsn",
+        "home_generation",
+    )
+
+    def __init__(self, tid: int, begin_time: float):
+        self.tid = tid
+        self.status = TxStatus.ACTIVE
+        #: Cell for the most recent tx log record (BEGIN, then COMMIT/ABORT).
+        self.tx_cell: Optional[Cell] = None
+        #: Oids of this transaction's non-garbage data records.
+        self.oids: Set[int] = set()
+        self.begin_time = begin_time
+        self.commit_time: Optional[float] = None
+        #: LSN of the COMMIT record while its group-commit ack is pending.
+        self.commit_lsn: Optional[int] = None
+        #: Generation this transaction's fresh records are appended to
+        #: (always 0 unless a lifetime placement policy says otherwise).
+        self.home_generation = 0
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the transaction has not yet durably finished."""
+        return self.status in (TxStatus.ACTIVE, TxStatus.COMMIT_PENDING)
+
+    @property
+    def settled(self) -> bool:
+        """Committed with every update flushed: the entry can be retired."""
+        return self.status is TxStatus.COMMITTED and not self.oids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LttEntry tid={self.tid} {self.status.value} "
+            f"oids={len(self.oids)} began={self.begin_time:.3f}>"
+        )
+
+
+class LoggedTransactionTable:
+    """tid -> :class:`LttEntry`, with oldest-live lookup for kill decisions."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, LttEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._entries
+
+    def get(self, tid: int) -> Optional[LttEntry]:
+        return self._entries.get(tid)
+
+    def require(self, tid: int) -> LttEntry:
+        entry = self._entries.get(tid)
+        if entry is None:
+            raise SimulationError(f"tid {tid} has no LTT entry")
+        return entry
+
+    def entries(self) -> Iterator[LttEntry]:
+        return iter(self._entries.values())
+
+    def begin(self, tid: int, begin_time: float) -> LttEntry:
+        """Create the entry for a newly initiated transaction."""
+        if tid in self._entries:
+            raise SimulationError(f"tid {tid} already registered")
+        entry = LttEntry(tid, begin_time)
+        self._entries[tid] = entry
+        return entry
+
+    def remove(self, tid: int) -> LttEntry:
+        """Delete the entry (abort, or settled commit)."""
+        entry = self._entries.pop(tid, None)
+        if entry is None:
+            raise SimulationError(f"tid {tid} has no LTT entry")
+        return entry
+
+    def live_count(self) -> int:
+        """Number of transactions that are still in progress."""
+        return sum(1 for e in self._entries.values() if e.is_live)
+
+    def oldest_live(self) -> Optional[LttEntry]:
+        """The live transaction that began earliest."""
+        oldest: Optional[LttEntry] = None
+        for entry in self._entries.values():
+            if entry.is_live and (oldest is None or entry.begin_time < oldest.begin_time):
+                oldest = entry
+        return oldest
+
+    def oldest_killable(self) -> Optional[LttEntry]:
+        """The oldest transaction that can still be safely killed.
+
+        Only ACTIVE transactions qualify: once a COMMIT record has been
+        handed to the log it may already be (or imminently become) durable,
+        and killing the transaction then would let recovery redo work that
+        was never acknowledged.
+        """
+        oldest: Optional[LttEntry] = None
+        for entry in self._entries.values():
+            if entry.status is TxStatus.ACTIVE and (
+                oldest is None or entry.begin_time < oldest.begin_time
+            ):
+                oldest = entry
+        return oldest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LoggedTransactionTable entries={len(self._entries)}>"

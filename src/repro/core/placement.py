@@ -1,0 +1,58 @@
+"""Lifetime-hint placement policy (paper §6, concluding remarks).
+
+"Suppose the transaction manager can estimate the expected lifetime of a
+transaction when it begins ... Rather than letting the transaction's records
+progress through successively older generations, it directly adds the
+transaction's log records to the tail of a generation in which the records
+are unlikely to reach the head before the transaction finishes."
+
+This policy maps an expected lifetime to a starting generation.  It is an
+optional extension: the paper proposes it as future work, so the default
+managers run without it and an ablation benchmark measures its effect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class LifetimePlacementPolicy:
+    """Choose a transaction's home generation from its expected lifetime.
+
+    ``boundaries`` holds ascending lifetime thresholds in seconds; a
+    transaction expected to live less than ``boundaries[i]`` starts in
+    generation ``i``, and anything slower starts in generation
+    ``len(boundaries)`` (clamped to the oldest generation at runtime).
+    Transactions without a hint start in generation 0, exactly as without
+    the policy.
+    """
+
+    def __init__(self, boundaries: Sequence[float]):
+        values = list(boundaries)
+        if not values:
+            raise ConfigurationError("placement policy needs >=1 lifetime boundary")
+        if any(b <= 0 for b in values):
+            raise ConfigurationError("lifetime boundaries must be positive")
+        if values != sorted(values):
+            raise ConfigurationError("lifetime boundaries must be ascending")
+        self.boundaries = values
+
+    def generation_for(
+        self, expected_lifetime: Optional[float], generation_count: int
+    ) -> int:
+        """Home generation index for a transaction with the given hint."""
+        if generation_count < 1:
+            raise ConfigurationError("generation_count must be >=1")
+        if expected_lifetime is None:
+            return 0
+        index = 0
+        for boundary in self.boundaries:
+            if expected_lifetime < boundary:
+                break
+            index += 1
+        return min(index, generation_count - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LifetimePlacementPolicy boundaries={self.boundaries}>"

@@ -1,0 +1,152 @@
+"""Analytic generation-sizing advisor (paper §6 open problem).
+
+"The optimal number of generations and their sizes depends on the
+application.  We cannot offer any provably correct analytical methods as
+tools to a database administrator who must specify these parameters when a
+system is configured."
+
+This module offers the missing tool as a *first-order* model.  It is an
+advisor, not a proof: it recommends sizes a DBA can start from, and the
+experiment harness can validate (and the searches can tighten) by
+simulation.
+
+Model
+-----
+Records written at byte rate ``B = rate x mean-log-bytes-per-tx``.  A FIFO
+generation of ``n`` blocks gives a record a *residency* of roughly
+``(n - slack) x payload / B_in`` seconds between entering at the tail and
+reaching the head, where ``B_in`` is the byte rate into that generation.
+
+A record must stay logged until its transaction commits (its remaining
+lifetime when written averages half the duration for uniformly spaced
+records) plus the group-commit and flush lag.  Generation *i* therefore
+only receives records of transactions whose duration exceeds the total
+residency of generations ``0..i-1``; its own size is chosen so that the
+cumulative residency covers the longest such duration, and the last
+generation leans on recirculation with a configurable headroom factor
+instead of covering the worst case outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.workload.spec import WorkloadMix
+
+
+@dataclass(frozen=True)
+class SizingAdvice:
+    """Recommended generation sizes plus the model's reasoning."""
+
+    generation_sizes: tuple
+    #: Predicted seconds a record spends in each generation.
+    residencies: tuple
+    #: Predicted byte/s entering each generation.
+    inflow_bytes_per_second: tuple
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.generation_sizes)
+
+
+def recommend_generation_sizes(
+    mix: WorkloadMix,
+    arrival_rate: float,
+    *,
+    generations: int = 2,
+    payload_bytes: int = constants.BLOCK_PAYLOAD_BYTES,
+    gap_blocks: int = constants.GAP_THRESHOLD_BLOCKS,
+    commit_lag: float = 0.15,
+    recirculation_headroom: float = 0.5,
+    safety_factor: float = 1.3,
+) -> SizingAdvice:
+    """First-order generation sizes for ``mix`` at ``arrival_rate`` TPS.
+
+    ``commit_lag`` approximates group-commit plus flush latency added to
+    every record's required log residency.  ``recirculation_headroom`` is
+    the fraction of the last generation's worst-case requirement actually
+    provisioned — recirculation absorbs the rest, trading bandwidth for
+    space exactly as Figure 7 does.  Use 1.0 for a no-recirculation
+    configuration.  ``safety_factor`` pads older generations for the
+    gather discipline, which forwards live records *before* they reach the
+    head and so delivers them with more remaining lifetime than the pure
+    cutoff model assumes.
+    """
+    if generations < 1:
+        raise ConfigurationError("need at least one generation")
+    if not 0 < recirculation_headroom <= 1.0:
+        raise ConfigurationError("recirculation_headroom must be in (0, 1]")
+
+    durations = sorted({t.duration for t in mix.types})
+    longest = durations[-1]
+
+    sizes: List[int] = []
+    residencies: List[float] = []
+    inflows: List[float] = []
+    covered = 0.0  # seconds of residency provided by younger generations
+    for index in range(generations):
+        inflow = _inflow_bytes_per_second(mix, arrival_rate, covered, commit_lag)
+        inflows.append(inflow)
+        if index < generations - 1:
+            # Cover the next-shorter duration class fully so its records die
+            # before reaching this generation's head.
+            target = _next_duration_target(durations, covered, commit_lag, longest)
+            residency = max(target - covered, commit_lag)
+        else:
+            # Last generation: cover what remains of the longest lifetime,
+            # discounted by the recirculation headroom.
+            remaining = max(longest + commit_lag - covered, commit_lag)
+            residency = remaining * recirculation_headroom
+        padded = residency * (safety_factor if index > 0 else 1.0)
+        blocks = _blocks_for(inflow, padded, payload_bytes, gap_blocks)
+        sizes.append(blocks)
+        residencies.append(residency)
+        covered += residency
+    return SizingAdvice(tuple(sizes), tuple(residencies), tuple(inflows))
+
+
+def _inflow_bytes_per_second(
+    mix: WorkloadMix, arrival_rate: float, covered: float, commit_lag: float
+) -> float:
+    """Byte rate of records still live after ``covered`` seconds in the log.
+
+    Generation 0 receives everything; an older generation only receives
+    records whose transactions outlive the younger generations' combined
+    residency.  Data records are written uniformly across the lifetime, so
+    on average half of a long transaction's records survive any cutoff
+    within its lifetime; we keep the conservative whole-transaction rate.
+    """
+    total = 0.0
+    for tx_type in mix.types:
+        if covered == 0.0 or tx_type.duration + commit_lag > covered:
+            record_bytes = (
+                2 * constants.TX_RECORD_BYTES
+                + tx_type.record_count * tx_type.record_bytes
+            )
+            total += arrival_rate * tx_type.probability * record_bytes
+    return total
+
+
+def _next_duration_target(
+    durations: Sequence[float], covered: float, commit_lag: float, longest: float
+) -> float:
+    """Smallest duration class (plus lag) not yet covered."""
+    for duration in durations:
+        if duration + commit_lag > covered:
+            return duration + commit_lag
+    return longest + commit_lag
+
+
+def _blocks_for(
+    inflow_bytes_per_second: float,
+    residency_seconds: float,
+    payload_bytes: int,
+    gap_blocks: int,
+) -> int:
+    blocks_per_second = inflow_bytes_per_second / payload_bytes
+    needed = blocks_per_second * residency_seconds
+    # The gap plus one filling block are never usable for residency.
+    return max(int(needed + 0.5) + gap_blocks + 1, gap_blocks + 1)

@@ -1,0 +1,73 @@
+"""The disk-resident stable version of the database.
+
+Flushing a committed update installs its after-image here, after which the
+update's log record is garbage.  Objects that were never updated are assumed
+to hold an implicit initial version (value 0 at time ``-inf``); storing
+10^7 explicit zeros would be wasteful and adds nothing to the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.db.objects import ObjectVersion
+from repro.errors import ConfigurationError
+
+
+class StableDatabase:
+    """Maps oid -> newest flushed :class:`~repro.db.objects.ObjectVersion`."""
+
+    def __init__(self, num_objects: int):
+        if num_objects < 1:
+            raise ConfigurationError(f"need >=1 object, got {num_objects}")
+        self.num_objects = num_objects
+        self._versions: Dict[int, ObjectVersion] = {}
+        self.flush_count = 0
+        self.stale_flush_count = 0
+
+    def install(self, oid: int, version: ObjectVersion) -> bool:
+        """Install a flushed after-image.
+
+        Returns ``True`` if the version was newer and took effect.  Older
+        versions are counted (``stale_flush_count``) and ignored — a flushed
+        update never regresses the stable copy.
+        """
+        self._check_oid(oid)
+        current = self._versions.get(oid)
+        self.flush_count += 1
+        if version.is_newer_than(current):
+            self._versions[oid] = version
+            return True
+        self.stale_flush_count += 1
+        return False
+
+    def get(self, oid: int) -> Optional[ObjectVersion]:
+        """Newest flushed version of ``oid``, or ``None`` if never flushed."""
+        self._check_oid(oid)
+        return self._versions.get(oid)
+
+    def value_of(self, oid: int) -> int:
+        """Current stable value of ``oid`` (0 when never flushed)."""
+        version = self.get(oid)
+        return version.value if version is not None else 0
+
+    def __len__(self) -> int:
+        """Number of objects with an explicit flushed version."""
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._versions)
+
+    def snapshot(self) -> Dict[int, ObjectVersion]:
+        """A copy of all explicit versions (for crash/recovery simulation)."""
+        return dict(self._versions)
+
+    def _check_oid(self, oid: int) -> None:
+        if not 0 <= oid < self.num_objects:
+            raise ConfigurationError(f"oid {oid} outside [0, {self.num_objects})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StableDatabase objects={self.num_objects} "
+            f"flushed={len(self._versions)} installs={self.flush_count}>"
+        )

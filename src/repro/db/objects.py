@@ -1,0 +1,31 @@
+"""Object versions stored in the stable database.
+
+The paper formulates EL "for a database which retains a version number
+timestamp with each object"; the timestamp is what lets single-pass recovery
+decide whether a logged update is newer than the stable copy.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class ObjectVersion(NamedTuple):
+    """One stored object value with its version timestamp.
+
+    Attributes:
+        value: the object's value (opaque integer in the simulator).
+        timestamp: simulated time of the update that produced the value.
+        lsn: LSN of the data log record that produced the value, used to
+            break timestamp ties exactly as the log's temporal order does.
+    """
+
+    value: int
+    timestamp: float
+    lsn: int
+
+    def is_newer_than(self, other: "ObjectVersion | None") -> bool:
+        """Version order: by timestamp, then LSN (matches record order)."""
+        if other is None:
+            return True
+        return (self.timestamp, self.lsn) > (other.timestamp, other.lsn)

@@ -1,0 +1,77 @@
+"""Block addresses and block images.
+
+The paper manages the log at block granularity: "the head and tail pointers
+for a generation indicate only block locations" and a cell "indicates merely
+the block to which its record belongs".  :class:`BlockAddress` is that
+coarse pointer; :class:`BlockImage` is the simulated content of one on-disk
+block (the list of records written into it plus payload accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.errors import RecordIntegrityError
+from repro.records.base import LogRecord
+
+
+class BlockAddress(NamedTuple):
+    """Coarse location of a record: which generation, which block slot.
+
+    ``slot`` is the physical index within the generation's circular array,
+    *not* a logical sequence number — records "conceptually move from tail
+    to head but physically they remain in the same place on disk".
+    """
+
+    generation: int
+    slot: int
+
+
+class BlockImage:
+    """The simulated contents of one written (or reserved) log block."""
+
+    __slots__ = ("address", "payload_capacity", "payload_used", "records", "write_lsn")
+
+    def __init__(self, address: BlockAddress, payload_capacity: int):
+        self.address = address
+        self.payload_capacity = payload_capacity
+        self.payload_used = 0
+        self.records: list[LogRecord] = []
+        #: LSN of the first record when the block was sealed; None until then.
+        self.write_lsn: int | None = None
+
+    @property
+    def free_bytes(self) -> int:
+        """Payload bytes still available in this block."""
+        return self.payload_capacity - self.payload_used
+
+    def fits(self, record: LogRecord) -> bool:
+        """Whether ``record`` fits in the remaining payload space."""
+        return record.size <= self.free_bytes
+
+    def add(self, record: LogRecord) -> None:
+        """Append a record; raises if it does not fit (records never split)."""
+        if record.size > self.free_bytes:
+            raise RecordIntegrityError(
+                f"record of {record.size} B does not fit in block "
+                f"{self.address} with {self.free_bytes} B free"
+            )
+        self.records.append(record)
+        self.payload_used += record.size
+
+    def seal(self) -> None:
+        """Mark the image as written; remembers the first record's LSN."""
+        if self.records:
+            self.write_lsn = self.records[0].lsn
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BlockImage {self.address} records={len(self.records)} "
+            f"used={self.payload_used}/{self.payload_capacity}>"
+        )

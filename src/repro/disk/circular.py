@@ -1,0 +1,100 @@
+"""Circular array of disk blocks.
+
+"The disk space within each queue is managed as a circular array; the head
+and tail pointers rotate through the positions of the array so that records
+conceptually move from tail to head but physically they remain in the same
+place on disk."
+
+This class does only the space accounting: which slots are in use, where the
+head and tail are, and how many free blocks remain.  Content lives in
+:class:`~repro.disk.block.BlockImage` objects owned by the generation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, LogFullError
+
+
+class CircularBlockArray:
+    """Head/tail bookkeeping over ``capacity`` block slots.
+
+    Slots are handed out at the tail by :meth:`reserve_tail` (this is where
+    the log manager assigns a block position to a buffer *before* it is
+    written — the paper notes the LM "knows the position of the disk block
+    to which it will eventually be written") and reclaimed at the head by
+    :meth:`free_head`.
+    """
+
+    __slots__ = ("capacity", "_head", "_used")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"circular array needs >=1 block, got {capacity}")
+        self.capacity = capacity
+        self._head = 0
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Slot index of the oldest in-use block (undefined when empty)."""
+        return self._head
+
+    @property
+    def tail(self) -> int:
+        """Slot index the *next* reservation will receive."""
+        return (self._head + self._used) % self.capacity
+
+    @property
+    def used(self) -> int:
+        """Number of slots currently reserved or written."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Number of slots available for new reservations."""
+        return self.capacity - self._used
+
+    @property
+    def empty(self) -> bool:
+        return self._used == 0
+
+    @property
+    def full(self) -> bool:
+        return self._used == self.capacity
+
+    def slot_offset(self, slot: int) -> int:
+        """Logical age of ``slot``: 0 for the head, 1 for the next, ...
+
+        Only meaningful for slots currently in use; used by tests and by the
+        recirculation-safety check.
+        """
+        return (slot - self._head) % self.capacity
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def reserve_tail(self) -> int:
+        """Reserve the slot at the tail; returns its index."""
+        if self._used == self.capacity:
+            raise LogFullError(f"all {self.capacity} blocks in use")
+        slot = self.tail
+        self._used += 1
+        return slot
+
+    def free_head(self) -> int:
+        """Release the slot at the head; returns its index."""
+        if self._used == 0:
+            raise LogFullError("cannot advance head of an empty queue")
+        slot = self._head
+        self._head = (self._head + 1) % self.capacity
+        self._used -= 1
+        return slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CircularBlockArray capacity={self.capacity} head={self._head} "
+            f"tail={self.tail} used={self._used}>"
+        )

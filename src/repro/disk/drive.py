@@ -1,0 +1,69 @@
+"""A single database disk drive servicing flush writes.
+
+"The user specifies some number of disk drives and the time required to
+write a block to any of these drives.  We assume that there can be at most
+one request at a time for any particular drive."
+
+The drive is deliberately simple: a fixed per-write service time (the
+configured transfer time already folds in seek/rotation allowances — the
+paper's 25 ms is "conservative") plus position tracking so the scheduler and
+stats can reason about locality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.disk.stats import DriveStats
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class DiskDrive:
+    """One drive with single-request service and a current oid position."""
+
+    __slots__ = ("sim", "index", "write_seconds", "stats", "_busy", "position")
+
+    def __init__(self, sim: Simulator, index: int, write_seconds: float):
+        if write_seconds <= 0:
+            raise SimulationError(f"write time must be positive, got {write_seconds}")
+        self.sim = sim
+        self.index = index
+        self.write_seconds = write_seconds
+        self.stats = DriveStats()
+        self._busy = False
+        #: Last oid written, used as the arm position for locality decisions.
+        self.position: Optional[int] = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a write is currently in service."""
+        return self._busy
+
+    def write(
+        self,
+        oid: int,
+        on_complete: Callable[[], None],
+        seek_distance: int | None = None,
+    ) -> None:
+        """Service one block write for ``oid``; fire ``on_complete`` when done.
+
+        ``seek_distance`` is the circular oid distance from the previous
+        position, provided by the scheduler (which knows the partition
+        geometry); it feeds the locality statistics only.
+        """
+        if self._busy:
+            raise SimulationError(f"drive {self.index} is busy")
+        self._busy = True
+
+        def _finish() -> None:
+            self._busy = False
+            self.position = oid
+            self.stats.record_write(self.write_seconds, seek_distance)
+            on_complete()
+
+        self.sim.after(self.write_seconds, _finish)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "busy" if self._busy else "idle"
+        return f"<DiskDrive {self.index} {state} pos={self.position}>"

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ephemeral-logging reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class.  Errors are raised for programming mistakes and impossible
+states; *expected* simulation outcomes (a transaction being killed because
+the log ran out of space, for example) are modelled as events and counted in
+the metrics, not raised.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or re-used after cancellation."""
+
+
+class LogFullError(ReproError):
+    """A log queue has no usable space left and no kill policy resolved it.
+
+    This is only raised when the configured kill policy declines to free
+    space (e.g. ``KillPolicy.FORBID`` in tests); normal simulations convert
+    space exhaustion into transaction kills.
+    """
+
+
+class BufferPoolExhaustedError(ReproError):
+    """All block buffers of a generation are in flight and stalls are forbidden."""
+
+
+class RecordIntegrityError(ReproError):
+    """A log record failed validation (bad size, type or encoding)."""
+
+
+class RecoveryError(ReproError):
+    """Recovery could not reconstruct a consistent database state."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload specification is invalid (bad pdf, negative rates, ...)."""
+
+
+class SearchError(ReproError):
+    """A minimum-space search could not bracket a feasible configuration."""

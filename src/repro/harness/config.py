@@ -1,0 +1,127 @@
+"""Simulation configuration.
+
+Mirrors the paper's simulator inputs ("pdf, rate of transaction initiation,
+flush rate, generations, recirculation, runtime") plus this library's policy
+knobs, with the paper's fixed parameters as defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro import constants
+from repro.core.interface import UnflushedHeadPolicy
+from repro.core.killpolicy import KillPolicy
+from repro.errors import ConfigurationError
+from repro.workload.spec import WorkloadMix, paper_mix
+
+
+class Technique(enum.Enum):
+    """Which log manager a simulation runs."""
+
+    EPHEMERAL = "el"
+    FIREWALL = "fw"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full description of one simulation run.
+
+    The default values are the paper's fixed parameters (§3); experiment
+    drivers override only what each figure varies.
+    """
+
+    technique: Technique = Technique.EPHEMERAL
+    #: Blocks per generation, youngest first.  For FW this must have one entry.
+    generation_sizes: Tuple[int, ...] = (18, 16)
+    recirculation: bool = True
+    #: Fraction of 10 s transactions if ``mix`` is not given explicitly.
+    long_fraction: float = 0.05
+    mix: Optional[WorkloadMix] = None
+    arrival_rate: float = constants.ARRIVAL_RATE_TPS
+    runtime: float = constants.RUNTIME_SECONDS
+    seed: int = 0
+
+    num_objects: int = constants.NUM_OBJECTS
+    flush_drives: int = constants.FLUSH_DRIVES
+    flush_write_seconds: float = constants.FLUSH_WRITE_SECONDS
+
+    payload_bytes: int = constants.BLOCK_PAYLOAD_BYTES
+    buffer_count: int = constants.BUFFERS_PER_GENERATION
+    gap_blocks: int = constants.GAP_THRESHOLD_BLOCKS
+    log_write_seconds: float = constants.LOG_WRITE_SECONDS
+    epsilon: float = constants.EPSILON_SECONDS
+
+    unflushed_head_policy: UnflushedHeadPolicy = UnflushedHeadPolicy.KEEP_IN_LOG
+    kill_policy: KillPolicy = KillPolicy.BLOCKING
+    #: Lifetime boundaries for the placement extension; ``None`` disables it.
+    placement_boundaries: Optional[Tuple[float, ...]] = None
+    poisson_arrivals: bool = False
+
+    sample_period: float = 0.5
+    collect_truth: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.generation_sizes:
+            raise ConfigurationError("generation_sizes must not be empty")
+        if self.technique is Technique.FIREWALL and len(self.generation_sizes) != 1:
+            raise ConfigurationError(
+                "firewall logging uses a single queue; got sizes "
+                f"{self.generation_sizes}"
+            )
+        if self.technique is Technique.FIREWALL and self.recirculation:
+            raise ConfigurationError("firewall logging never recirculates")
+        if any(s < self.gap_blocks + 1 for s in self.generation_sizes):
+            raise ConfigurationError(
+                f"every generation needs more than gap={self.gap_blocks} blocks"
+            )
+        if self.runtime <= 0:
+            raise ConfigurationError("runtime must be positive")
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if self.sample_period <= 0:
+            raise ConfigurationError("sample_period must be positive")
+
+    def workload_mix(self) -> WorkloadMix:
+        """The explicit mix, or the paper's two-type mix at ``long_fraction``."""
+        if self.mix is not None:
+            return self.mix
+        return paper_mix(self.long_fraction)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.generation_sizes)
+
+    def with_sizes(self, sizes: Sequence[int]) -> "SimulationConfig":
+        """A copy with different generation sizes (used by the searches)."""
+        return dataclasses.replace(self, generation_sizes=tuple(sizes))
+
+    def replace(self, **changes) -> "SimulationConfig":
+        """A modified copy (thin wrapper over :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def firewall(cls, log_blocks: int, **kwargs) -> "SimulationConfig":
+        """Convenience constructor for a firewall run."""
+        return cls(
+            technique=Technique.FIREWALL,
+            generation_sizes=(log_blocks,),
+            recirculation=False,
+            **kwargs,
+        )
+
+    @classmethod
+    def ephemeral(
+        cls, generation_sizes: Sequence[int], recirculation: bool = True, **kwargs
+    ) -> "SimulationConfig":
+        """Convenience constructor for an EL run."""
+        return cls(
+            technique=Technique.EPHEMERAL,
+            generation_sizes=tuple(generation_sizes),
+            recirculation=recirculation,
+            **kwargs,
+        )

@@ -1,0 +1,516 @@
+"""Drivers that regenerate every evaluation artifact in the paper.
+
+* :func:`run_figures_4_5_6` — one minimum-space sweep over the transaction
+  mix yields Figure 4 (disk space), Figure 5 (log bandwidth) and Figure 6
+  (main memory) simultaneously, exactly as in the paper where the three
+  figures describe the same set of minimum-space runs.
+* :func:`run_figure_7` — EL disk bandwidth (last generation and total)
+  versus total space with recirculation enabled, generation 0 pinned.
+* :func:`run_scarce_flush` — the §4 narrative experiment with 45 ms flush
+  transfers: space, bandwidth, and the flush-locality shift.
+* :func:`headline_claims` — the abstract's space-ratio / bandwidth-increase
+  claims, derived from the other results.
+
+Each driver returns a result object that can render its figure as a text
+table and serialise to JSON for :class:`~repro.harness.sweep.SweepCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+from repro.harness.config import SimulationConfig
+from repro.harness.scale import Scale
+from repro.harness.search import SpaceSearch
+from repro.harness.simulator import run_simulation
+from repro.harness.sweep import SweepCache
+from repro.metrics.report import format_series
+
+
+# ======================================================================
+# Figures 4, 5, 6 — one sweep over the transaction mix
+# ======================================================================
+@dataclass
+class MixPoint:
+    """Minimum-space outcome for one transaction mix."""
+
+    long_fraction: float
+    updates_per_second: float
+    fw_blocks: int
+    fw_bandwidth_wps: float
+    fw_memory_peak_bytes: int
+    el_gen0: int
+    el_gen1: int
+    el_bandwidth_wps: float
+    el_memory_peak_bytes: int
+
+    @property
+    def el_blocks(self) -> int:
+        return self.el_gen0 + self.el_gen1
+
+    @property
+    def space_ratio(self) -> float:
+        """FW space / EL space (the paper's headline factor)."""
+        return self.fw_blocks / self.el_blocks if self.el_blocks else 0.0
+
+    @property
+    def bandwidth_increase(self) -> float:
+        """EL bandwidth relative to FW, as a fraction (e.g. 0.11 = +11 %)."""
+        if self.fw_bandwidth_wps == 0:
+            return 0.0
+        return self.el_bandwidth_wps / self.fw_bandwidth_wps - 1.0
+
+
+@dataclass
+class Figures456Result:
+    """The shared sweep behind Figures 4, 5 and 6."""
+
+    scale_label: str
+    runtime: float
+    seed: int
+    points: List[MixPoint] = field(default_factory=list)
+
+    def figure4_text(self) -> str:
+        return format_series(
+            "Figure 4: Disk Space Requirements vs. Tx Mix (blocks)",
+            "10s-tx %",
+            ["FW blocks", "EL blocks", "EL gen0", "EL gen1", "FW/EL ratio"],
+            [
+                (
+                    f"{p.long_fraction:.0%}",
+                    p.fw_blocks,
+                    p.el_blocks,
+                    p.el_gen0,
+                    p.el_gen1,
+                    round(p.space_ratio, 2),
+                )
+                for p in self.points
+            ],
+        )
+
+    def figure5_text(self) -> str:
+        return format_series(
+            "Figure 5: Disk Bandwidth vs. Tx Mix (log block writes/s)",
+            "10s-tx %",
+            ["FW w/s", "EL w/s", "increase %"],
+            [
+                (
+                    f"{p.long_fraction:.0%}",
+                    round(p.fw_bandwidth_wps, 2),
+                    round(p.el_bandwidth_wps, 2),
+                    round(100 * p.bandwidth_increase, 1),
+                )
+                for p in self.points
+            ],
+        )
+
+    def figure6_text(self) -> str:
+        return format_series(
+            "Figure 6: Memory Requirements vs. Tx Mix (bytes, peak)",
+            "10s-tx %",
+            ["FW bytes", "EL bytes"],
+            [
+                (
+                    f"{p.long_fraction:.0%}",
+                    p.fw_memory_peak_bytes,
+                    p.el_memory_peak_bytes,
+                )
+                for p in self.points
+            ],
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scale_label": self.scale_label,
+            "runtime": self.runtime,
+            "seed": self.seed,
+            "points": [asdict(p) for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Figures456Result":
+        points = [MixPoint(**p) for p in data["points"]]
+        return cls(
+            scale_label=data["scale_label"],
+            runtime=data["runtime"],
+            seed=data["seed"],
+            points=points,
+        )
+
+
+def run_figures_4_5_6(
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    cache: Optional[SweepCache] = None,
+) -> Figures456Result:
+    """Minimum-space sweep over the mix for both techniques (E1–E3)."""
+    scale = scale or Scale.from_env()
+    cache = cache or SweepCache()
+    key = f"fig456-{scale.label}-seed{seed}"
+    cached = cache.get(key)
+    if cached is not None:
+        return Figures456Result.from_dict(cached)
+
+    result = Figures456Result(scale_label=scale.label, runtime=scale.runtime, seed=seed)
+    for fraction in scale.mix_points:
+        fw_template = SimulationConfig.firewall(
+            log_blocks=64,  # replaced by the search
+            long_fraction=fraction,
+            runtime=scale.runtime,
+            seed=seed,
+        )
+        fw = SpaceSearch(fw_template).fw_minimum()
+        el_template = SimulationConfig.ephemeral(
+            (18, 16),  # replaced by the search
+            recirculation=False,
+            long_fraction=fraction,
+            runtime=scale.runtime,
+            seed=seed,
+        )
+        el = SpaceSearch(el_template).el_minimum(
+            scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
+        )
+        mix = fw_template.workload_mix()
+        result.points.append(
+            MixPoint(
+                long_fraction=fraction,
+                updates_per_second=(
+                    fw_template.arrival_rate * mix.mean_updates_per_transaction()
+                ),
+                fw_blocks=fw.sizes[0],
+                fw_bandwidth_wps=fw.result.total_bandwidth_wps,
+                fw_memory_peak_bytes=fw.result.memory_peak_bytes,
+                el_gen0=el.sizes[0],
+                el_gen1=el.sizes[1],
+                el_bandwidth_wps=el.result.total_bandwidth_wps,
+                el_memory_peak_bytes=el.result.memory_peak_bytes,
+            )
+        )
+    cache.put(key, result.to_dict())
+    return result
+
+
+# ======================================================================
+# Figure 7 — recirculation: bandwidth vs space
+# ======================================================================
+@dataclass
+class Figure7Point:
+    gen1_blocks: int
+    total_blocks: int
+    kills: int
+    last_generation_wps: float
+    total_wps: float
+    recirculated_records: int
+
+
+@dataclass
+class Figure7Result:
+    scale_label: str
+    runtime: float
+    seed: int
+    gen0_blocks: int
+    fw_blocks: int
+    fw_bandwidth_wps: float
+    points: List[Figure7Point] = field(default_factory=list)
+
+    @property
+    def feasible_points(self) -> List[Figure7Point]:
+        return [p for p in self.points if p.kills == 0]
+
+    @property
+    def minimum_total_blocks(self) -> int:
+        feasible = self.feasible_points
+        return min(p.total_blocks for p in feasible) if feasible else 0
+
+    def figure7_text(self) -> str:
+        rows = [
+            (
+                p.total_blocks,
+                p.gen1_blocks,
+                round(p.last_generation_wps, 2),
+                round(p.total_wps, 2),
+                p.kills,
+            )
+            for p in sorted(self.points, key=lambda p: -p.total_blocks)
+        ]
+        header = (
+            f"Figure 7: EL Disk Bandwidth vs. Space "
+            f"(recirculation on, gen0={self.gen0_blocks} blocks; "
+            f"FW reference: {self.fw_blocks} blocks at "
+            f"{self.fw_bandwidth_wps:.2f} w/s)"
+        )
+        return format_series(
+            header,
+            "total blocks",
+            ["gen1 blocks", "last-gen w/s", "total w/s", "kills"],
+            rows,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scale_label": self.scale_label,
+            "runtime": self.runtime,
+            "seed": self.seed,
+            "gen0_blocks": self.gen0_blocks,
+            "fw_blocks": self.fw_blocks,
+            "fw_bandwidth_wps": self.fw_bandwidth_wps,
+            "points": [asdict(p) for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Figure7Result":
+        points = [Figure7Point(**p) for p in data["points"]]
+        payload = {k: v for k, v in data.items() if k != "points"}
+        return cls(points=points, **payload)
+
+
+def run_figure_7(
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    cache: Optional[SweepCache] = None,
+    long_fraction: float = 0.05,
+    gen0_blocks: Optional[int] = None,
+    gen1_start: Optional[int] = None,
+) -> Figure7Result:
+    """Shrink the last generation with recirculation enabled (E4).
+
+    ``gen0_blocks`` defaults to the no-recirculation optimum for the same
+    mix ("the size of the first generation remained fixed at 18 blocks, for
+    which the minimum space was obtained in the case of no recirculation"),
+    taken from the Figures 4–6 sweep.
+    """
+    scale = scale or Scale.from_env()
+    cache = cache or SweepCache()
+    key = f"fig7-{scale.label}-seed{seed}-mix{long_fraction}"
+    if gen0_blocks is not None or gen1_start is not None:
+        key += f"-g0{gen0_blocks}-g1{gen1_start}"
+    cached = cache.get(key)
+    if cached is not None:
+        return Figure7Result.from_dict(cached)
+
+    fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache)
+    reference = min(
+        fig456.points, key=lambda p: abs(p.long_fraction - long_fraction)
+    )
+    gen0 = gen0_blocks if gen0_blocks is not None else reference.el_gen0
+    start_gen1 = gen1_start if gen1_start is not None else reference.el_gen1
+
+    result = Figure7Result(
+        scale_label=scale.label,
+        runtime=scale.runtime,
+        seed=seed,
+        gen0_blocks=gen0,
+        fw_blocks=reference.fw_blocks,
+        fw_bandwidth_wps=reference.fw_bandwidth_wps,
+    )
+    gen1 = start_gen1
+    floor = 3  # gap + 1
+    while gen1 >= floor:
+        run = run_simulation(
+            SimulationConfig.ephemeral(
+                (gen0, gen1),
+                recirculation=True,
+                long_fraction=long_fraction,
+                runtime=scale.runtime,
+                seed=seed,
+            )
+        )
+        result.points.append(
+            Figure7Point(
+                gen1_blocks=gen1,
+                total_blocks=gen0 + gen1,
+                kills=run.transactions_killed,
+                last_generation_wps=run.last_generation_bandwidth_wps,
+                total_wps=run.total_bandwidth_wps,
+                recirculated_records=run.recirculated_records,
+            )
+        )
+        if not run.no_kills:
+            break  # one infeasible point past the minimum, as in the paper
+        gen1 -= 1
+    cache.put(key, result.to_dict())
+    return result
+
+
+# ======================================================================
+# §4 narrative — scarce flushing bandwidth
+# ======================================================================
+@dataclass
+class ScarceFlushResult:
+    scale_label: str
+    runtime: float
+    seed: int
+    long_fraction: float
+    #: Minimum-space EL configuration under 45 ms flush transfers.
+    gen0_blocks: int
+    gen1_blocks: int
+    bandwidth_wps: float
+    mean_seek_distance_scarce: float
+    flush_peak_backlog: int
+    recirculated_records: int
+    #: Locality at the plentiful 25 ms baseline (same mix, recirculation).
+    mean_seek_distance_baseline: float
+
+    @property
+    def total_blocks(self) -> int:
+        return self.gen0_blocks + self.gen1_blocks
+
+    @property
+    def locality_gain(self) -> float:
+        """Baseline / scarce mean seek distance (>1 = more sequential)."""
+        if self.mean_seek_distance_scarce == 0:
+            return 0.0
+        return self.mean_seek_distance_baseline / self.mean_seek_distance_scarce
+
+    def text(self) -> str:
+        lines = [
+            "Scarce flushing bandwidth (45 ms transfers, 10 drives -> 222 flush/s):",
+            f"  minimum EL space     : {self.total_blocks} blocks "
+            f"({self.gen0_blocks} + {self.gen1_blocks})   [paper: 31 = 20 + 11]",
+            f"  log bandwidth        : {self.bandwidth_wps:.2f} writes/s   [paper: 13.96]",
+            f"  mean oid seek (45ms) : {self.mean_seek_distance_scarce:,.0f}   [paper: ~109,000]",
+            f"  mean oid seek (25ms) : {self.mean_seek_distance_baseline:,.0f}   [paper: ~235,000]",
+            f"  flush backlog peak   : {self.flush_peak_backlog}",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScarceFlushResult":
+        return cls(**data)
+
+
+def run_scarce_flush(
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    cache: Optional[SweepCache] = None,
+    long_fraction: float = 0.05,
+) -> ScarceFlushResult:
+    """The 45 ms flush-transfer experiment (E5)."""
+    scale = scale or Scale.from_env()
+    cache = cache or SweepCache()
+    key = f"scarce3-{scale.label}-seed{seed}-mix{long_fraction}"
+    cached = cache.get(key)
+    if cached is not None:
+        return ScarceFlushResult.from_dict(cached)
+
+    template = SimulationConfig.ephemeral(
+        (20, 11),
+        recirculation=True,
+        long_fraction=long_fraction,
+        runtime=scale.runtime,
+        seed=seed,
+        flush_write_seconds=0.045,
+    )
+    # The paper's operating point recirculates unflushed updates "until
+    # they are eventually flushed" and concludes "the extra disk space and
+    # bandwidth are not prohibitive".  Encode both halves: the log must
+    # survive without kills and without demand flushes (random database
+    # I/O), and its bandwidth must stay within 25% of the same mix's
+    # plentiful-flush EL bandwidth — otherwise the search walks into a
+    # degenerate tiny-log/huge-recirculation regime the paper never
+    # considers.
+    reference = min(
+        run_figures_4_5_6(scale, seed=seed, cache=cache).points,
+        key=lambda p: abs(p.long_fraction - long_fraction),
+    )
+    bandwidth_cap = reference.el_bandwidth_wps * 1.25
+    search = SpaceSearch(
+        template,
+        feasible_fn=lambda result: (
+            result.no_kills
+            and result.demand_flushes == 0
+            and result.total_bandwidth_wps <= bandwidth_cap
+        ),
+    )
+    # A gen0 that blows the bandwidth cap does so at any gen1; don't let
+    # the bracket chase infeasibility into absurd sizes.
+    search.MAX_BLOCKS = 256
+    outcome = search.el_minimum(
+        scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
+    )
+    baseline = run_simulation(
+        SimulationConfig.ephemeral(
+            outcome.sizes,
+            recirculation=True,
+            long_fraction=long_fraction,
+            runtime=scale.runtime,
+            seed=seed,
+            flush_write_seconds=0.025,
+        )
+    )
+    result = ScarceFlushResult(
+        scale_label=scale.label,
+        runtime=scale.runtime,
+        seed=seed,
+        long_fraction=long_fraction,
+        gen0_blocks=outcome.sizes[0],
+        gen1_blocks=outcome.sizes[1],
+        bandwidth_wps=outcome.result.total_bandwidth_wps,
+        mean_seek_distance_scarce=outcome.result.flush_mean_seek_distance,
+        flush_peak_backlog=outcome.result.flush_peak_backlog,
+        recirculated_records=outcome.result.recirculated_records,
+        mean_seek_distance_baseline=baseline.flush_mean_seek_distance,
+    )
+    cache.put(key, result.to_dict())
+    return result
+
+
+# ======================================================================
+# Headline claims (abstract / §4)
+# ======================================================================
+@dataclass
+class HeadlineClaims:
+    """The paper's summary numbers, recomputed from our sweeps."""
+
+    #: "It reduces disk space by a factor of 3.6 with only an 11% increase
+    #: in bandwidth" (5 % mix, no recirculation).
+    no_recirc_space_ratio: float
+    no_recirc_bandwidth_increase: float
+    #: "a factor of 4.4 reduction in disk space and a 12% increase in
+    #: bandwidth" (5 % mix, recirculation).
+    recirc_space_ratio: float
+    recirc_bandwidth_increase: float
+
+    def text(self) -> str:
+        return "\n".join(
+            [
+                "Headline claims (5% 10s-transaction mix):",
+                f"  EL (no recirc): space ratio {self.no_recirc_space_ratio:.1f}x "
+                f"[paper: 3.6x], bandwidth +{100*self.no_recirc_bandwidth_increase:.0f}% "
+                f"[paper: +11%]",
+                f"  EL (recirc)   : space ratio {self.recirc_space_ratio:.1f}x "
+                f"[paper: 4.4x], bandwidth +{100*self.recirc_bandwidth_increase:.0f}% "
+                f"[paper: +12%]",
+            ]
+        )
+
+
+def headline_claims(
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    cache: Optional[SweepCache] = None,
+) -> HeadlineClaims:
+    """Recompute the abstract's claims from the figure sweeps (E6)."""
+    scale = scale or Scale.from_env()
+    cache = cache or SweepCache()
+    fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache)
+    fig7 = run_figure_7(scale, seed=seed, cache=cache)
+    base = min(fig456.points, key=lambda p: p.long_fraction)
+    feasible = fig7.feasible_points
+    best = min(feasible, key=lambda p: p.total_blocks)
+    return HeadlineClaims(
+        no_recirc_space_ratio=base.space_ratio,
+        no_recirc_bandwidth_increase=base.bandwidth_increase,
+        recirc_space_ratio=(
+            fig7.fw_blocks / best.total_blocks if best.total_blocks else 0.0
+        ),
+        recirc_bandwidth_increase=(
+            best.total_wps / fig7.fw_bandwidth_wps - 1.0
+            if fig7.fw_bandwidth_wps
+            else 0.0
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Experiment scale control.
+
+The paper's full protocol (500 simulated seconds at 100 TPS, minimum-space
+searches at every mix point) is expensive in pure Python, so every
+experiment driver takes a :class:`Scale`.  ``Scale.paper()`` is the exact
+protocol; ``Scale.quick()`` keeps the workload and search semantics but
+shortens the simulated span and coarsens the search grids; ``Scale.smoke()``
+is for tests.  ``Scale.from_env()`` honours:
+
+* ``REPRO_FULL=1``      → paper scale,
+* ``REPRO_SMOKE=1``     → smoke scale,
+* ``REPRO_RUNTIME=<s>`` → quick scale with a custom simulated span.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs trading fidelity against wall-clock time."""
+
+    label: str
+    #: Simulated seconds per run.
+    runtime: float
+    #: Fractions of 10 s transactions swept in Figures 4-6.
+    mix_points: Tuple[float, ...]
+    #: Candidate generation-0 sizes for the EL joint minimisation.
+    gen0_candidates: Tuple[int, ...]
+    #: Refine around the best gen-0 candidate with this radius (blocks).
+    gen0_refine_radius: int
+
+    def __post_init__(self) -> None:
+        if self.runtime <= 0:
+            raise ConfigurationError("scale runtime must be positive")
+        if not self.mix_points or not self.gen0_candidates:
+            raise ConfigurationError("scale sweeps must be non-empty")
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The paper's exact protocol (500 s; 5 %–40 % in 5 % steps)."""
+        return cls(
+            label="paper",
+            runtime=500.0,
+            mix_points=(0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40),
+            gen0_candidates=(8, 12, 16, 18, 20, 24, 28, 32, 40, 48),
+            gen0_refine_radius=2,
+        )
+
+    @classmethod
+    def quick(cls, runtime: float = 180.0) -> "Scale":
+        """Same semantics, shorter span and coarser grids (the default)."""
+        return cls(
+            label=f"quick-{runtime:g}s",
+            runtime=runtime,
+            mix_points=(0.05, 0.10, 0.20, 0.30, 0.40),
+            gen0_candidates=(12, 16, 18, 20, 24, 32),
+            gen0_refine_radius=1,
+        )
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        """Tiny spans for unit/integration tests."""
+        return cls(
+            label="smoke",
+            runtime=25.0,
+            mix_points=(0.05, 0.40),
+            gen0_candidates=(16, 20),
+            gen0_refine_radius=0,
+        )
+
+    @classmethod
+    def from_env(cls) -> "Scale":
+        """Scale selected by environment variables (see module docstring)."""
+        if os.environ.get("REPRO_FULL") == "1":
+            return cls.paper()
+        if os.environ.get("REPRO_SMOKE") == "1":
+            return cls.smoke()
+        runtime = os.environ.get("REPRO_RUNTIME")
+        if runtime is not None:
+            return cls.quick(float(runtime))
+        return cls.quick()

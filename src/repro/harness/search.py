@@ -1,0 +1,205 @@
+"""Minimum-disk-space searches.
+
+"For both FW and EL, we continued to run simulations and reduce the disk
+space until we observed transactions being killed.  Hence, these results
+reflect the minimum disk space requirements ... in which no transaction is
+killed."
+
+The searches automate that manual procedure.  Feasibility (zero kills over
+the run) is treated as monotone in space: the FW search is a 1-D
+exponential bracket plus bisection; the EL search jointly minimises
+(gen0, gen1) by bisecting gen1 for each candidate gen0 and refining around
+the best candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SearchError
+from repro.harness.config import SimulationConfig, Technique
+from repro.harness.results import SimulationResult
+from repro.harness.simulator import run_simulation
+
+#: Injection point so tests can stub the expensive runner.
+Runner = Callable[[SimulationConfig], SimulationResult]
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one minimisation."""
+
+    sizes: Tuple[int, ...]
+    result: SimulationResult
+    runs: int
+    history: List[Tuple[Tuple[int, ...], bool]] = field(default_factory=list)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.sizes)
+
+
+class SpaceSearch:
+    """Runs minimum-space searches against a configuration template."""
+
+    #: Hard ceiling on any single dimension, to catch broken configurations
+    #: before an unbounded exponential search melts the machine.
+    MAX_BLOCKS = 1 << 14
+
+    def __init__(
+        self,
+        template: SimulationConfig,
+        runner: Optional[Runner] = None,
+        feasible_fn: Optional[Callable[[SimulationResult], bool]] = None,
+    ):
+        """``feasible_fn`` overrides the acceptance criterion (default: the
+        paper's zero-kills rule).  The scarce-flush experiment, for example,
+        additionally rejects configurations that only survive by
+        demand-flushing at the head."""
+        self.template = template
+        self.runner: Runner = runner or run_simulation
+        self.feasible_fn = feasible_fn or (lambda result: result.no_kills)
+        self.runs = 0
+        self._cache: Dict[Tuple[int, ...], SimulationResult] = {}
+        self.history: List[Tuple[Tuple[int, ...], bool]] = []
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def evaluate(self, sizes: Tuple[int, ...]) -> SimulationResult:
+        """Run (or recall) the template at the given generation sizes."""
+        cached = self._cache.get(sizes)
+        if cached is not None:
+            return cached
+        result = self.runner(self.template.with_sizes(sizes))
+        self._cache[sizes] = result
+        self.runs += 1
+        self.history.append((sizes, self.feasible_fn(result)))
+        return result
+
+    def feasible(self, sizes: Tuple[int, ...]) -> bool:
+        return self.feasible_fn(self.evaluate(sizes))
+
+    def estimate_fw_blocks(self) -> int:
+        """Analytic starting point for the FW bracket.
+
+        The firewall must retain roughly the log traffic generated during
+        the longest transaction lifetime, plus the gap and in-flight
+        buffers.
+        """
+        config = self.template
+        mix = config.workload_mix()
+        bytes_per_second = config.arrival_rate * mix.mean_log_bytes_per_transaction()
+        blocks_per_second = bytes_per_second / config.payload_bytes
+        longest = max(t.duration for t in mix.types)
+        estimate = int(blocks_per_second * (longest + 1.0))
+        return max(estimate + config.gap_blocks + config.buffer_count, self._floor())
+
+    def _floor(self) -> int:
+        return self.template.gap_blocks + 1
+
+    # ------------------------------------------------------------------
+    # 1-D search (FW, or EL with gen0 pinned)
+    # ------------------------------------------------------------------
+    def minimise_dimension(
+        self,
+        make_sizes: Callable[[int], Tuple[int, ...]],
+        start: int,
+    ) -> Tuple[int, SimulationResult]:
+        """Smallest ``n`` with zero kills, for sizes built by ``make_sizes``."""
+        floor = self._floor()
+        n = max(start, floor)
+        # Bracket upward until feasible.
+        while not self.feasible(make_sizes(n)):
+            if n >= self.MAX_BLOCKS:
+                raise SearchError(
+                    f"no feasible size below {self.MAX_BLOCKS} blocks; "
+                    f"the workload cannot be sustained by this configuration"
+                )
+            n = min(max(n * 2, n + 1), self.MAX_BLOCKS)
+        # Bisect down to the smallest feasible value.
+        lo, hi = floor - 1, n  # lo is infeasible-or-floor, hi is feasible
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if mid < floor:
+                lo = mid
+                continue
+            if self.feasible(make_sizes(mid)):
+                hi = mid
+            else:
+                lo = mid
+        return hi, self.evaluate(make_sizes(hi))
+
+    # ------------------------------------------------------------------
+    # Public searches
+    # ------------------------------------------------------------------
+    def fw_minimum(self) -> SearchOutcome:
+        """Minimum single-log size for the firewall technique."""
+        if self.template.technique is not Technique.FIREWALL:
+            raise SearchError("fw_minimum needs a firewall template")
+        blocks, result = self.minimise_dimension(
+            lambda n: (n,), self.estimate_fw_blocks()
+        )
+        return SearchOutcome((blocks,), result, self.runs, list(self.history))
+
+    def el_min_gen1(self, gen0: int, start: Optional[int] = None) -> Tuple[int, SimulationResult]:
+        """Minimum generation-1 size for a fixed generation-0 size."""
+        start = start if start is not None else max(self._floor(), 8)
+        return self.minimise_dimension(lambda n: (gen0, n), start)
+
+    def el_minimum(
+        self,
+        gen0_candidates,
+        refine_radius: int = 1,
+    ) -> SearchOutcome:
+        """Jointly minimise (gen0, gen1) total size for a two-generation EL."""
+        if self.template.technique is not Technique.EPHEMERAL:
+            raise SearchError("el_minimum needs an ephemeral template")
+        floor = self._floor()
+        best: Optional[Tuple[int, int]] = None
+        best_result: Optional[SimulationResult] = None
+        last_gen1: Optional[int] = None
+        for gen0 in sorted(set(max(c, floor) for c in gen0_candidates)):
+            try:
+                gen1, result = self.el_min_gen1(gen0, start=last_gen1)
+            except SearchError:
+                # This gen0 cannot satisfy the feasibility criterion at any
+                # gen1 (e.g. a bandwidth cap that a tiny first generation
+                # blows regardless of the second's size); try the next one.
+                continue
+            last_gen1 = gen1
+            if best is None or gen0 + gen1 < sum(best):
+                best = (gen0, gen1)
+                best_result = result
+        if best is None or best_result is None:
+            raise SearchError(
+                "no generation-0 candidate admits a feasible configuration"
+            )
+        if refine_radius > 0:
+            for gen0 in range(best[0] - refine_radius, best[0] + refine_radius + 1):
+                if gen0 < floor or gen0 == best[0]:
+                    continue
+                try:
+                    gen1, result = self.el_min_gen1(gen0, start=best[1])
+                except SearchError:
+                    continue
+                if gen0 + gen1 < sum(best):
+                    best = (gen0, gen1)
+                    best_result = result
+        return SearchOutcome(best, best_result, self.runs, list(self.history))
+
+
+def minimum_fw_blocks(template: SimulationConfig, runner: Optional[Runner] = None) -> SearchOutcome:
+    """Convenience wrapper: minimum firewall log size for ``template``."""
+    return SpaceSearch(template, runner).fw_minimum()
+
+
+def minimum_el_sizes(
+    template: SimulationConfig,
+    gen0_candidates,
+    refine_radius: int = 1,
+    runner: Optional[Runner] = None,
+) -> SearchOutcome:
+    """Convenience wrapper: joint EL (gen0, gen1) minimisation."""
+    return SpaceSearch(template, runner).el_minimum(gen0_candidates, refine_radius)

@@ -1,0 +1,84 @@
+"""JSON result caching for parameter sweeps.
+
+The figure drivers run many simulations; a small on-disk cache makes
+re-rendering a figure (or running the figure-5 bench after the figure-4
+bench, which share the same sweep) cheap.  Entries are keyed by an explicit
+string that includes every parameter that affects the result plus a format
+version, so stale entries are never silently reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+#: Bump when result formats or simulation semantics change.
+CACHE_VERSION = 3
+
+
+def default_cache_dir() -> Path:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` in the cwd."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.cwd() / ".repro_cache"
+
+
+class SweepCache:
+    """A tiny key → JSON document store on disk."""
+
+    def __init__(self, directory: Optional[Path] = None, enabled: bool = True):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in key)
+        return self.directory / f"v{CACHE_VERSION}-{safe}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, key: str, document: dict) -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    def get_or_compute(self, key: str, compute: Callable[[], dict]) -> dict:
+        """Fetch ``key`` or compute, store and return it."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        document = compute()
+        self.put(key, document)
+        return document
+
+    def clear(self) -> int:
+        """Delete every cache file; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepCache {self.directory} hits={self.hits} misses={self.misses}>"

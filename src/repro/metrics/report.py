@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper's figures are line plots; with no plotting dependency available,
+the benchmark harness prints the underlying series as aligned text tables —
+the numbers, which carry the result, rather than the pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, x_label: str, y_labels: Sequence[str], points: Iterable[Sequence]
+) -> str:
+    """Render one figure-style series: a title plus an aligned table."""
+    table = format_table([x_label, *y_labels], points)
+    return f"{title}\n{table}"

@@ -1,0 +1,98 @@
+"""Time series and periodic sampling of simulation state.
+
+The paper reports peak-style quantities (memory requirements, bandwidth);
+:class:`PeriodicSampler` polls callables on a fixed simulated-time period so
+those quantities are observed rather than inferred.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+class TimeSeries:
+    """An append-only series of (time, value) samples with summary stats."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ConfigurationError(
+                f"series {self.name}: time {time} before last {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    @property
+    def maximum(self) -> float:
+        """Largest sampled value (0 when empty)."""
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeSeries {self.name} n={len(self.values)} max={self.maximum}>"
+
+
+class PeriodicSampler:
+    """Polls named probes every ``period`` simulated seconds."""
+
+    def __init__(self, sim: Simulator, period: float):
+        if period <= 0:
+            raise ConfigurationError(f"sampling period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self._started = False
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> TimeSeries:
+        """Register a probe; returns the series its samples land in."""
+        if name in self._probes:
+            raise ConfigurationError(f"probe {name!r} already registered")
+        self._probes[name] = probe
+        series = TimeSeries(name)
+        self.series[name] = series
+        return series
+
+    def start(self) -> None:
+        """Take the first sample now and keep sampling every period."""
+        if self._started:
+            raise ConfigurationError("sampler already started")
+        self._started = True
+        self._tick()
+
+    def _tick(self) -> None:
+        for name, probe in self._probes.items():
+            self.series[name].append(self.sim.now, float(probe()))
+        self.sim.after(self.period, self._tick)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PeriodicSampler period={self.period} probes={sorted(self._probes)}>"

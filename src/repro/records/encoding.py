@@ -1,0 +1,101 @@
+"""Binary encoding of log records.
+
+The simulator's hot path keeps record *objects* in block images and uses the
+paper's accounting sizes (8 bytes per tx record, the declared size per data
+record).  This codec provides a faithful wire format for the recovery path
+and durability tests: records round-trip through bytes exactly, and a block
+image can be serialised and re-parsed as a real log block would be.
+
+Layout (little-endian)::
+
+    header:  kind:u8  tid:u64  lsn:u64  timestamp:f64  size:u32
+    data  :  header + oid:u64 + value:i64, padded with zeros to `size_hint`
+
+The on-wire size intentionally differs from the accounting size: a real
+8-byte COMMIT record could not hold a 64-bit tid and timestamp.  The codec
+therefore records the accounting size in the header and pads data records to
+``max(wire_min, size_hint)``; accounting stays the paper's, while the bytes
+remain self-describing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.errors import RecordIntegrityError
+from repro.records.base import LogRecord, RecordKind
+from repro.records.data import DataLogRecord
+from repro.records.tx import AbortRecord, BeginRecord, CommitRecord
+
+_HEADER = struct.Struct("<BQQdI")
+_DATA_EXTRA = struct.Struct("<Qq")
+
+_TX_CLASSES = {
+    RecordKind.BEGIN: BeginRecord,
+    RecordKind.COMMIT: CommitRecord,
+    RecordKind.ABORT: AbortRecord,
+}
+
+
+class RecordCodec:
+    """Serialise and parse log records and whole block images."""
+
+    header_size = _HEADER.size
+    data_extra_size = _DATA_EXTRA.size
+
+    def encode(self, record: LogRecord) -> bytes:
+        """Serialise one record to bytes."""
+        header = _HEADER.pack(
+            int(record.kind), record.tid, record.lsn, record.timestamp, record.size
+        )
+        if isinstance(record, DataLogRecord):
+            body = header + _DATA_EXTRA.pack(record.oid, record.value)
+            pad = record.size - len(body)
+            if pad > 0:
+                body += b"\x00" * pad
+            return body
+        return header
+
+    def decode(self, data: bytes, offset: int = 0) -> tuple[LogRecord, int]:
+        """Parse one record starting at ``offset``.
+
+        Returns the record and the offset just past it.
+        """
+        try:
+            kind_raw, tid, lsn, timestamp, size = _HEADER.unpack_from(data, offset)
+        except struct.error as exc:
+            raise RecordIntegrityError(f"truncated record header at offset {offset}") from exc
+        try:
+            kind = RecordKind(kind_raw)
+        except ValueError as exc:
+            raise RecordIntegrityError(f"unknown record kind {kind_raw}") from exc
+        end = offset + _HEADER.size
+        if kind is RecordKind.DATA:
+            try:
+                oid, value = _DATA_EXTRA.unpack_from(data, end)
+            except struct.error as exc:
+                raise RecordIntegrityError(f"truncated data record at offset {offset}") from exc
+            end += _DATA_EXTRA.size
+            wire_min = _HEADER.size + _DATA_EXTRA.size
+            if size > wire_min:
+                end = offset + size
+                if end > len(data):
+                    raise RecordIntegrityError(f"truncated data padding at offset {offset}")
+            record: LogRecord = DataLogRecord(lsn, tid, timestamp, size, oid, value)
+            return record, end
+        cls = _TX_CLASSES[kind]
+        return cls(lsn, tid, timestamp, size), end
+
+    def encode_block(self, records: Iterable[LogRecord]) -> bytes:
+        """Serialise a sequence of records as one block image."""
+        return b"".join(self.encode(r) for r in records)
+
+    def decode_block(self, data: bytes) -> list[LogRecord]:
+        """Parse a block image back into its records."""
+        records: list[LogRecord] = []
+        offset = 0
+        while offset < len(data):
+            record, offset = self.decode(data, offset)
+            records.append(record)
+        return records

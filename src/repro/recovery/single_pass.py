@@ -1,0 +1,65 @@
+"""Single-pass recovery.
+
+"Now, we can read the entire log into memory and perform recovery with a
+single pass."  Because every object carries a version-number timestamp, a
+single unordered sweep suffices: an update is applied only if it is newer
+than the version already present, so stale copies (recirculated duplicates,
+already-flushed updates, superseded values) are harmless regardless of the
+order they are encountered in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.db.objects import ObjectVersion
+from repro.disk.block import BlockImage
+from repro.records.base import RecordKind
+from repro.records.data import DataLogRecord
+from repro.recovery.analyzer import LogScan
+
+
+class SinglePassRecovery:
+    """Reconstructs the committed database state in one sweep of the log."""
+
+    def __init__(self, images: Iterable[BlockImage]):
+        self.images = list(images)
+        self.records_applied = 0
+        self.records_skipped_stale = 0
+        self.records_skipped_loser = 0
+
+    def recover(
+        self, stable: Optional[Dict[int, ObjectVersion]] = None
+    ) -> Dict[int, ObjectVersion]:
+        """Return oid -> newest committed version, starting from ``stable``.
+
+        ``stable`` is the stable database's content at the crash (objects
+        never flushed hold their implicit initial version and are simply
+        absent).  The input mapping is not mutated.
+        """
+        state: Dict[int, ObjectVersion] = dict(stable) if stable else {}
+        # Pass 0 is free: the commit set falls out of the same sweep that
+        # loaded the log into memory.
+        scan = LogScan(self.images)
+        committed = scan.committed_tids
+        for image in self.images:
+            for record in image.records:
+                if record.kind is not RecordKind.DATA:
+                    continue
+                assert isinstance(record, DataLogRecord)
+                if record.tid not in committed:
+                    self.records_skipped_loser += 1
+                    continue
+                version = ObjectVersion(record.value, record.timestamp, record.lsn)
+                if version.is_newer_than(state.get(record.oid)):
+                    state[record.oid] = version
+                    self.records_applied += 1
+                else:
+                    self.records_skipped_stale += 1
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SinglePassRecovery blocks={len(self.images)} "
+            f"applied={self.records_applied}>"
+        )

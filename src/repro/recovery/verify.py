@@ -1,0 +1,79 @@
+"""Recovery verification against the workload's ground truth.
+
+The durability contract under test (design invariant 5): after a crash at
+time *t*, recovery over the durable log plus the stable database must
+reconstruct exactly the updates of transactions *acknowledged* by *t* —
+every acknowledged update survives (durability), and no value from an
+unacknowledged transaction appears (atomicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.db.objects import ObjectVersion
+from repro.workload.generator import AckedUpdate
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one recovery check."""
+
+    crash_time: float
+    expected_objects: int
+    recovered_objects: int
+    #: (oid, expected value or None, recovered value or None)
+    mismatches: List[Tuple[int, object, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.ok else f"{len(self.mismatches)} mismatches"
+        return f"<VerificationResult t={self.crash_time} {status}>"
+
+
+class RecoveryVerifier:
+    """Builds the expected state from acknowledged updates and diffs it."""
+
+    def __init__(self, acked_updates: Iterable[AckedUpdate]):
+        self.acked_updates = list(acked_updates)
+
+    def expected_state(self, crash_time: float) -> Dict[int, ObjectVersion]:
+        """oid -> the newest update acknowledged no later than ``crash_time``."""
+        state: Dict[int, ObjectVersion] = {}
+        for update in self.acked_updates:
+            if update.ack_time > crash_time:
+                continue
+            version = ObjectVersion(update.value, update.timestamp, update.lsn)
+            if version.is_newer_than(state.get(update.oid)):
+                state[update.oid] = version
+        return state
+
+    def verify(
+        self, crash_time: float, recovered: Dict[int, ObjectVersion]
+    ) -> VerificationResult:
+        """Compare ``recovered`` with the expected state at ``crash_time``.
+
+        Values are compared object by object.  Objects absent from both are
+        implicitly equal (initial versions); an object present on only one
+        side is a mismatch.
+        """
+        expected = self.expected_state(crash_time)
+        result = VerificationResult(
+            crash_time=crash_time,
+            expected_objects=len(expected),
+            recovered_objects=len(recovered),
+        )
+        for oid, version in expected.items():
+            got = recovered.get(oid)
+            if got is None or got.value != version.value:
+                result.mismatches.append(
+                    (oid, version.value, got.value if got else None)
+                )
+        for oid, got in recovered.items():
+            if oid not in expected:
+                result.mismatches.append((oid, None, got.value))
+        return result

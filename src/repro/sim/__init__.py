@@ -1,0 +1,16 @@
+"""Discrete-event simulation engine.
+
+The paper's evaluation is driven by "an event-driven simulator ... written in
+C".  This package is the Python equivalent: a deterministic event scheduler
+(:class:`~repro.sim.engine.Simulator`), cancellable event handles
+(:class:`~repro.sim.events.EventHandle`), a seedable random-number facade
+(:class:`~repro.sim.rng.SimRng`) and an optional trace sink
+(:class:`~repro.sim.trace.TraceLog`).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.sim.rng import SimRng
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = ["Simulator", "EventHandle", "SimRng", "TraceEvent", "TraceLog"]

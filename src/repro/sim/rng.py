@@ -1,0 +1,60 @@
+"""Seedable random-number facade used by every stochastic component.
+
+Each consumer (workload type selection, oid selection, ...) gets its own
+named stream derived from the master seed, so adding randomness to one
+component never perturbs another — a property the minimum-space searches
+rely on for comparability across configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class SimRng:
+    """A master seed that hands out independent named substreams."""
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the substream for ``name``, creating it deterministically.
+
+        The same ``(seed, name)`` pair always yields an identical stream,
+        independent of creation order or other streams' consumption.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(f"{self._seed}/{name}")
+            self._streams[name] = stream
+        return stream
+
+    def choice_index(self, name: str, weights: Sequence[float]) -> int:
+        """Pick an index according to ``weights`` from stream ``name``.
+
+        Weights need not be normalised; they must be non-negative with a
+        positive sum (validated by the workload layer).
+        """
+        r = self.stream(name).random() * sum(weights)
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if r < acc:
+                return i
+        return len(weights) - 1
+
+    def randrange(self, name: str, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` from stream ``name``."""
+        return self.stream(name).randrange(upper)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimRng seed={self._seed} streams={sorted(self._streams)}>"

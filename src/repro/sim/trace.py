@@ -1,0 +1,68 @@
+"""Optional structured trace log for debugging and tests.
+
+Components emit :class:`TraceEvent` tuples into a :class:`TraceLog` when one
+is configured.  Tracing is off by default (the hot path checks a single
+``enabled`` flag), so paper-scale runs pay almost nothing for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, NamedTuple
+
+
+class TraceEvent(NamedTuple):
+    """One traced occurrence.
+
+    Attributes:
+        time: simulated time the event occurred at.
+        source: short component name (``"el"``, ``"flush"``, ``"gen0"``...).
+        kind: event kind (``"forward"``, ``"kill"``, ``"block_write"``...).
+        detail: free-form payload, usually a dict of identifiers.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Any
+
+
+class TraceLog:
+    """An append-only in-memory trace with simple filtering helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None):
+        self.enabled = enabled
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, time: float, source: str, kind: str, detail: Any = None) -> None:
+        """Record one event (no-op while :attr:`enabled` is false)."""
+        if not self.enabled:
+            return
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(time, source, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def select(self, source: str | None = None, kind: str | None = None) -> list[TraceEvent]:
+        """Events matching the given source and/or kind."""
+        return [
+            e
+            for e in self._events
+            if (source is None or e.source == source) and (kind is None or e.kind == kind)
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded events (the ``enabled`` flag is unchanged)."""
+        self._events.clear()
+        self.dropped = 0
+
+
+#: A shared disabled trace instance components can default to.
+NULL_TRACE = TraceLog(enabled=False)

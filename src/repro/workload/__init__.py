@@ -1,0 +1,34 @@
+"""Transaction workload generation (paper §3 and Figure 3).
+
+The user specifies "an arbitrary number of different transaction types and
+their probability distribution function": per type a probability of
+occurrence, a duration, a number of data log records and a record size.
+Transactions are initiated at regular intervals; each writes its BEGIN
+record immediately, its data records at equally spaced intervals with the
+last ε before completion, and its COMMIT record at the end of its lifetime,
+then waits for the log manager's group-commit acknowledgement.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+from repro.workload.generator import WorkloadGenerator, WorkloadStats
+from repro.workload.oids import OidChooser
+from repro.workload.spec import TransactionType, WorkloadMix, paper_mix
+from repro.workload.transactions import TransactionRun, TxOutcome
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "OidChooser",
+    "TransactionType",
+    "TransactionRun",
+    "TxOutcome",
+    "WorkloadGenerator",
+    "WorkloadMix",
+    "WorkloadStats",
+    "paper_mix",
+]

@@ -1,0 +1,48 @@
+"""Transaction arrival processes.
+
+"Transactions are initiated at regular intervals, according to the
+specified arrival rate ... We believe that this simple, deterministic
+arrival pattern is sufficient for a first order evaluation of EL.  More
+complicated probabilistic models (such as Markov arrivals) may be
+investigated in future work."
+
+Both the paper's deterministic process and the suggested Poisson (Markov
+arrival) extension are provided.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.errors import WorkloadError
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces inter-arrival times for a given rate."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise WorkloadError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+
+    @abc.abstractmethod
+    def next_interval(self, rng: random.Random) -> float:
+        """Seconds until the next transaction initiation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} rate={self.rate}>"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Exactly one transaction every ``1/rate`` seconds (the paper's model)."""
+
+    def next_interval(self, rng: random.Random) -> float:
+        return 1.0 / self.rate
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at the same mean rate (the future-work model)."""
+
+    def next_interval(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate)

@@ -1,0 +1,56 @@
+"""Object-identifier selection with the paper's exclusivity constraint.
+
+"Whenever a transaction writes a data log record, we randomly pick some
+integer for the oid, subject to the constraint that the number has not
+already been chosen for an update by a transaction which is still active."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+
+class OidChooser:
+    """Uniform oid selection excluding oids held by active transactions."""
+
+    def __init__(self, num_objects: int, rng: random.Random):
+        if num_objects < 1:
+            raise WorkloadError(f"need >=1 object, got {num_objects}")
+        self.num_objects = num_objects
+        self._rng = rng
+        self._in_use: set[int] = set()
+        self.rejections = 0
+
+    def acquire(self) -> int:
+        """Pick a uniformly random oid not currently held by an active tx.
+
+        Rejection sampling: with 10^7 objects and a few hundred concurrently
+        held oids, retries are vanishingly rare; a guard still bounds the
+        loop for adversarially small object counts.
+        """
+        if len(self._in_use) >= self.num_objects:
+            raise WorkloadError("all oids are held by active transactions")
+        while True:
+            oid = self._rng.randrange(self.num_objects)
+            if oid not in self._in_use:
+                self._in_use.add(oid)
+                return oid
+            self.rejections += 1
+
+    def release(self, oid: int) -> None:
+        """Return an oid once its transaction is no longer active."""
+        self._in_use.discard(oid)
+
+    def release_all(self, oids) -> None:
+        """Release every oid a finished transaction held."""
+        for oid in oids:
+            self.release(oid)
+
+    @property
+    def held(self) -> int:
+        return len(self._in_use)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OidChooser objects={self.num_objects} held={self.held}>"

@@ -1,0 +1,119 @@
+"""Transaction type and workload mix specifications.
+
+"For each type of transaction, the user states the probability of
+occurrence, the duration of execution, the number of data log records
+written and the size of each data log record."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TransactionType:
+    """One transaction type in the workload pdf.
+
+    Attributes:
+        name: label used in reports.
+        probability: probability a new transaction is of this type.
+        duration: lifetime T in seconds (begin to COMMIT request).
+        record_count: number of data log records written.
+        record_bytes: size of each data log record in bytes.
+    """
+
+    name: str
+    probability: float
+    duration: float
+    record_count: int
+    record_bytes: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise WorkloadError(f"{self.name}: probability must be in [0,1]")
+        if self.duration <= 0:
+            raise WorkloadError(f"{self.name}: duration must be positive")
+        if self.record_count < 0:
+            raise WorkloadError(f"{self.name}: record_count must be >= 0")
+        if self.record_bytes <= 0:
+            raise WorkloadError(f"{self.name}: record_bytes must be positive")
+
+
+class WorkloadMix:
+    """A validated collection of transaction types forming a pdf."""
+
+    def __init__(self, types: Sequence[TransactionType]):
+        if not types:
+            raise WorkloadError("workload mix needs at least one type")
+        total = sum(t.probability for t in types)
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise WorkloadError(f"type probabilities must sum to 1, got {total}")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate type names in {names}")
+        self.types = list(types)
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def __iter__(self):
+        return iter(self.types)
+
+    @property
+    def weights(self) -> list[float]:
+        return [t.probability for t in self.types]
+
+    def mean_updates_per_transaction(self) -> float:
+        """Expected data records per transaction."""
+        return sum(t.probability * t.record_count for t in self.types)
+
+    def mean_log_bytes_per_transaction(self, tx_record_bytes: int = 8) -> float:
+        """Expected log payload per transaction (BEGIN + data + COMMIT)."""
+        return sum(
+            t.probability * (2 * tx_record_bytes + t.record_count * t.record_bytes)
+            for t in self.types
+        )
+
+    def mean_duration(self) -> float:
+        """Expected transaction lifetime in seconds."""
+        return sum(t.probability * t.duration for t in self.types)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{t.name}:{t.probability:.0%}" for t in self.types
+        )
+        return f"<WorkloadMix {parts}>"
+
+
+def paper_mix(long_fraction: float) -> WorkloadMix:
+    """The paper's two-type evaluation workload.
+
+    "The first is of 1 s duration and writes 2 data log records, each of
+    size 100 bytes.  The second lasts 10 s, in which time it writes 4 data
+    log records of size 100 bytes each."  ``long_fraction`` is the fraction
+    of 10 s transactions (the x axis of Figures 4–6).
+    """
+    if not 0.0 <= long_fraction <= 1.0:
+        raise WorkloadError(f"long_fraction must be in [0,1], got {long_fraction}")
+    return WorkloadMix(
+        [
+            TransactionType(
+                name="short-1s",
+                probability=1.0 - long_fraction,
+                duration=1.0,
+                record_count=2,
+                record_bytes=100,
+            ),
+            TransactionType(
+                name="long-10s",
+                probability=long_fraction,
+                duration=10.0,
+                record_count=4,
+                record_bytes=100,
+            ),
+        ]
+    )

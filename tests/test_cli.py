@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_SMOKE", "1")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.technique == "el"
+        assert args.sizes == "18,16"
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+
+class TestRunCommand:
+    def test_el_run_exits_zero_without_kills(self, capsys):
+        code = main(["run", "--sizes", "18,16", "--runtime", "15"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "log bandwidth" in output
+        assert "killed" in output
+
+    def test_fw_run(self, capsys):
+        code = main(
+            ["run", "--technique", "fw", "--sizes", "130", "--runtime", "15"]
+        )
+        assert code == 0
+        assert "fw" in capsys.readouterr().out
+
+    def test_undersized_log_exits_nonzero(self, capsys):
+        code = main(
+            ["run", "--technique", "fw", "--sizes", "10", "--runtime", "15"]
+        )
+        assert code == 1
+
+    def test_hybrid_run(self, capsys):
+        code = main(
+            ["run", "--technique", "hybrid", "--sizes", "24,24", "--runtime", "10"]
+        )
+        assert code == 0
+
+
+class TestRecoverCommand:
+    def test_recovery_verifies_ok(self, capsys):
+        code = main(
+            ["recover", "--sizes", "18,10", "--runtime", "20", "--crash-at", "12"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "verification         : OK" in output
+
+
+class TestFigureCommand:
+    def test_headline_at_smoke_scale(self, capsys):
+        # REPRO_SMOKE=1 (autouse fixture) keeps the sweep tiny; the cache
+        # directory is isolated per test.
+        code = main(["figure", "headline"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "space ratio" in output
+        assert "[scale: smoke]" in output
+
+    def test_figure4_uses_cache_on_second_call(self, capsys):
+        assert main(["figure", "4"]) == 0
+        first = capsys.readouterr().out
+        assert main(["figure", "4"]) == 0
+        second = capsys.readouterr().out
+        assert "Figure 4" in first
+        assert first == second  # cached result is identical
+
+
+class TestCacheCommand:
+    def test_list_and_clear(self, capsys):
+        assert main(["cache", "list"]) == 0
+        assert main(["cache", "clear"]) == 0
+        output = capsys.readouterr().out
+        assert "cache directory" in output
+        assert "removed" in output
+
+
+class TestAdviseCommand:
+    def test_advise_prints_recommendation(self, capsys):
+        code = main(["advise", "--mix", "0.05"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recommended sizes" in output
+
+    def test_advise_with_validation(self, capsys):
+        code = main(["advise", "--mix", "0.05", "--validate", "--runtime", "30"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "sustains the workload" in output
+
+    def test_advise_three_generations(self, capsys):
+        code = main(["advise", "--generations", "3"])
+        assert code == 0
+        assert capsys.readouterr().out.count(",") >= 2
+
+
+class TestSearchCommand:
+    def test_fw_search(self, capsys):
+        code = main(
+            ["search", "--technique", "fw", "--runtime", "15", "--mix", "0.05"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "minimum sizes" in output

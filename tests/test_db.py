@@ -1,0 +1,81 @@
+"""Tests for the stable database and object versions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import StableDatabase
+from repro.db.objects import ObjectVersion
+from repro.errors import ConfigurationError
+
+
+class TestObjectVersion:
+    def test_newer_by_timestamp(self):
+        old = ObjectVersion(1, 1.0, 0)
+        new = ObjectVersion(2, 2.0, 1)
+        assert new.is_newer_than(old)
+        assert not old.is_newer_than(new)
+
+    def test_timestamp_tie_broken_by_lsn(self):
+        a = ObjectVersion(1, 1.0, 5)
+        b = ObjectVersion(2, 1.0, 6)
+        assert b.is_newer_than(a)
+        assert not a.is_newer_than(b)
+
+    def test_anything_newer_than_none(self):
+        assert ObjectVersion(1, 0.0, 0).is_newer_than(None)
+
+
+class TestStableDatabase:
+    def test_initial_value_is_zero(self):
+        db = StableDatabase(10)
+        assert db.value_of(3) == 0
+        assert db.get(3) is None
+        assert len(db) == 0
+
+    def test_install_newer_version(self):
+        db = StableDatabase(10)
+        assert db.install(1, ObjectVersion(5, 1.0, 0))
+        assert db.value_of(1) == 5
+        assert len(db) == 1
+
+    def test_stale_install_ignored(self):
+        db = StableDatabase(10)
+        db.install(1, ObjectVersion(5, 2.0, 1))
+        assert not db.install(1, ObjectVersion(9, 1.0, 0))
+        assert db.value_of(1) == 5
+        assert db.stale_flush_count == 1
+        assert db.flush_count == 2
+
+    def test_equal_version_is_stale(self):
+        db = StableDatabase(10)
+        version = ObjectVersion(5, 1.0, 0)
+        db.install(1, version)
+        assert not db.install(1, version)
+
+    def test_snapshot_is_a_copy(self):
+        db = StableDatabase(10)
+        db.install(1, ObjectVersion(5, 1.0, 0))
+        snap = db.snapshot()
+        db.install(2, ObjectVersion(6, 2.0, 1))
+        assert 2 not in snap
+        assert snap[1].value == 5
+
+    def test_oid_bounds_checked(self):
+        db = StableDatabase(10)
+        with pytest.raises(ConfigurationError):
+            db.install(10, ObjectVersion(1, 0.0, 0))
+        with pytest.raises(ConfigurationError):
+            db.get(-1)
+        with pytest.raises(ConfigurationError):
+            db.value_of(11)
+
+    def test_needs_at_least_one_object(self):
+        with pytest.raises(ConfigurationError):
+            StableDatabase(0)
+
+    def test_iteration_yields_flushed_oids(self):
+        db = StableDatabase(10)
+        db.install(3, ObjectVersion(1, 1.0, 0))
+        db.install(7, ObjectVersion(2, 2.0, 1))
+        assert sorted(db) == [3, 7]

@@ -1,0 +1,63 @@
+"""Tests for block addresses and block images."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.block import BlockAddress, BlockImage
+from repro.errors import RecordIntegrityError
+
+from tests.conftest import make_data_record
+
+
+class TestBlockAddress:
+    def test_tuple_equality(self):
+        assert BlockAddress(0, 3) == BlockAddress(0, 3)
+        assert BlockAddress(0, 3) != BlockAddress(1, 3)
+
+    def test_fields(self):
+        address = BlockAddress(generation=2, slot=5)
+        assert address.generation == 2
+        assert address.slot == 5
+
+
+class TestBlockImage:
+    def test_add_records_until_full(self):
+        image = BlockImage(BlockAddress(0, 0), 250)
+        image.add(make_data_record(lsn=0, size=100))
+        image.add(make_data_record(lsn=1, size=100))
+        assert image.free_bytes == 50
+        assert not image.fits(make_data_record(lsn=2, size=100))
+        assert image.fits(make_data_record(lsn=3, size=50))
+
+    def test_overflow_raises(self):
+        image = BlockImage(BlockAddress(0, 0), 50)
+        with pytest.raises(RecordIntegrityError):
+            image.add(make_data_record(size=100))
+
+    def test_records_never_split_across_blocks(self):
+        # An exact fit is allowed; one byte more is not.
+        image = BlockImage(BlockAddress(0, 0), 100)
+        image.add(make_data_record(size=100))
+        assert image.free_bytes == 0
+
+    def test_iteration_and_len(self):
+        image = BlockImage(BlockAddress(0, 0), 300)
+        records = [make_data_record(lsn=i, size=100) for i in range(3)]
+        for r in records:
+            image.add(r)
+        assert len(image) == 3
+        assert list(image) == records
+
+    def test_seal_records_first_lsn(self):
+        image = BlockImage(BlockAddress(0, 0), 300)
+        image.add(make_data_record(lsn=41, size=100))
+        image.add(make_data_record(lsn=42, size=100))
+        assert image.write_lsn is None
+        image.seal()
+        assert image.write_lsn == 41
+
+    def test_seal_empty_image(self):
+        image = BlockImage(BlockAddress(0, 0), 300)
+        image.seal()
+        assert image.write_lsn is None

@@ -1,0 +1,107 @@
+"""Tests for the circular block array, including a hypothesis model check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.circular import CircularBlockArray
+from repro.errors import ConfigurationError, LogFullError
+
+
+class TestBasics:
+    def test_initial_state(self):
+        array = CircularBlockArray(8)
+        assert array.capacity == 8
+        assert array.used == 0
+        assert array.free == 8
+        assert array.empty and not array.full
+        assert array.head == 0 and array.tail == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CircularBlockArray(0)
+
+    def test_reserve_returns_consecutive_slots(self):
+        array = CircularBlockArray(4)
+        assert [array.reserve_tail() for _ in range(4)] == [0, 1, 2, 3]
+        assert array.full
+
+    def test_reserve_beyond_capacity_raises(self):
+        array = CircularBlockArray(2)
+        array.reserve_tail()
+        array.reserve_tail()
+        with pytest.raises(LogFullError):
+            array.reserve_tail()
+
+    def test_free_head_returns_oldest_slot(self):
+        array = CircularBlockArray(4)
+        array.reserve_tail()
+        array.reserve_tail()
+        assert array.free_head() == 0
+        assert array.free_head() == 1
+
+    def test_free_head_empty_raises(self):
+        with pytest.raises(LogFullError):
+            CircularBlockArray(4).free_head()
+
+    def test_wraparound(self):
+        array = CircularBlockArray(3)
+        for _ in range(3):
+            array.reserve_tail()
+        array.free_head()
+        assert array.reserve_tail() == 0  # slot 0 reused
+        assert array.head == 1
+
+    def test_slot_offset(self):
+        array = CircularBlockArray(5)
+        for _ in range(5):
+            array.reserve_tail()
+        array.free_head()
+        array.free_head()  # head now at slot 2
+        assert array.slot_offset(2) == 0
+        assert array.slot_offset(4) == 2
+        assert array.slot_offset(0) == 3  # wrapped
+
+    def test_tail_position_tracks_reservations(self):
+        array = CircularBlockArray(4)
+        array.reserve_tail()
+        assert array.tail == 1
+        array.free_head()
+        assert array.tail == 1  # freeing the head does not move the tail
+
+
+class TestModelProperty:
+    """Drive the array with a random op sequence against a deque model."""
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        ops=st.lists(st.sampled_from(["reserve", "free"]), max_size=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_fifo_model(self, capacity, ops):
+        array = CircularBlockArray(capacity)
+        model: list[int] = []  # slots in fifo order
+        next_slot = 0
+        for op in ops:
+            if op == "reserve":
+                if len(model) == capacity:
+                    with pytest.raises(LogFullError):
+                        array.reserve_tail()
+                else:
+                    slot = array.reserve_tail()
+                    assert slot == next_slot % capacity
+                    model.append(slot)
+                    next_slot += 1
+            else:
+                if not model:
+                    with pytest.raises(LogFullError):
+                        array.free_head()
+                else:
+                    assert array.free_head() == model.pop(0)
+            assert array.used == len(model)
+            assert array.free == capacity - len(model)
+            assert 0 <= array.used <= capacity
+            if model:
+                assert array.head == model[0]

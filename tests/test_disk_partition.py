@@ -1,0 +1,91 @@
+"""Tests for range partitioning and circular oid distances."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.partition import RangePartitioner
+from repro.errors import ConfigurationError
+
+
+class TestDriveAssignment:
+    def test_even_partition(self):
+        part = RangePartitioner(100, 4)
+        assert part.drive_of(0) == 0
+        assert part.drive_of(24) == 0
+        assert part.drive_of(25) == 1
+        assert part.drive_of(99) == 3
+
+    def test_remainder_goes_to_last_drive(self):
+        part = RangePartitioner(10, 3)  # ranges 0-2, 3-5, 6-9
+        assert part.range_of(0) == (0, 3)
+        assert part.range_of(1) == (3, 6)
+        assert part.range_of(2) == (6, 10)
+        assert part.drive_of(9) == 2
+
+    def test_single_drive(self):
+        part = RangePartitioner(50, 1)
+        assert part.drive_of(49) == 0
+        assert part.range_of(0) == (0, 50)
+
+    def test_oid_out_of_range(self):
+        part = RangePartitioner(10, 2)
+        with pytest.raises(ConfigurationError):
+            part.drive_of(10)
+        with pytest.raises(ConfigurationError):
+            part.drive_of(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner(10, 0)
+        with pytest.raises(ConfigurationError):
+            RangePartitioner(2, 3)
+
+    def test_range_of_invalid_drive(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner(10, 2).range_of(2)
+
+
+class TestDistance:
+    def test_simple_distance(self):
+        part = RangePartitioner(100, 1)
+        assert part.distance(10, 30) == 20
+
+    def test_wraparound_distance(self):
+        # Range is [0, 100); 5 and 95 are 10 apart the short way around.
+        part = RangePartitioner(100, 1)
+        assert part.distance(5, 95) == 10
+
+    def test_distance_zero(self):
+        part = RangePartitioner(100, 2)
+        assert part.distance(7, 7) == 0
+
+    def test_distance_within_second_drive(self):
+        part = RangePartitioner(100, 2)  # drive 1 holds [50, 100)
+        assert part.distance(51, 99) == 2  # wraps within the drive's range
+
+    def test_cross_drive_distance_rejected(self):
+        part = RangePartitioner(100, 2)
+        with pytest.raises(ConfigurationError):
+            part.distance(10, 60)
+
+    @given(
+        oid_a=st.integers(min_value=0, max_value=999),
+        oid_b=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_distance_is_symmetric_and_bounded(self, oid_a, oid_b):
+        part = RangePartitioner(1000, 1)
+        distance = part.distance(oid_a, oid_b)
+        assert distance == part.distance(oid_b, oid_a)
+        assert 0 <= distance <= 500  # half the circular span
+
+    @given(oid=st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=200, deadline=None)
+    def test_every_oid_maps_to_its_range(self, oid):
+        part = RangePartitioner(10000, 7)
+        drive = part.drive_of(oid)
+        lo, hi = part.range_of(drive)
+        assert lo <= oid < hi

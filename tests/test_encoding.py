@@ -1,0 +1,129 @@
+"""Tests for the binary record codec, including property-based round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordIntegrityError
+from repro.records.base import RecordKind
+from repro.records.data import DataLogRecord
+from repro.records.encoding import RecordCodec
+from repro.records.tx import AbortRecord, BeginRecord, CommitRecord
+
+codec = RecordCodec()
+
+
+class TestTxRecords:
+    @pytest.mark.parametrize("cls", [BeginRecord, CommitRecord, AbortRecord])
+    def test_round_trip(self, cls):
+        record = cls(lsn=12, tid=99, timestamp=3.5)
+        decoded, end = codec.decode(codec.encode(record))
+        assert type(decoded) is cls
+        assert (decoded.lsn, decoded.tid, decoded.timestamp) == (12, 99, 3.5)
+        assert end == codec.header_size
+
+    def test_accounting_size_preserved(self):
+        record = BeginRecord(0, 1, 0.0)
+        decoded, _ = codec.decode(codec.encode(record))
+        assert decoded.size == 8  # the paper's accounting size, not the wire size
+
+
+class TestDataRecords:
+    def test_round_trip(self):
+        record = DataLogRecord(5, 2, 1.0, 100, oid=123456, value=-7)
+        decoded, end = codec.decode(codec.encode(record))
+        assert isinstance(decoded, DataLogRecord)
+        assert (decoded.oid, decoded.value, decoded.size) == (123456, -7, 100)
+        assert end == 100  # padded to the declared size
+
+    def test_small_declared_size_not_padded(self):
+        record = DataLogRecord(0, 1, 0.0, 10, oid=1, value=1)
+        data = codec.encode(record)
+        assert len(data) == codec.header_size + codec.data_extra_size
+
+    def test_block_round_trip(self):
+        records = [
+            BeginRecord(0, 1, 0.0),
+            DataLogRecord(1, 1, 0.1, 100, 5, 50),
+            DataLogRecord(2, 1, 0.2, 100, 6, 60),
+            CommitRecord(3, 1, 0.3),
+        ]
+        decoded = codec.decode_block(codec.encode_block(records))
+        assert [r.lsn for r in decoded] == [0, 1, 2, 3]
+        assert [int(r.kind) for r in decoded] == [
+            int(RecordKind.BEGIN),
+            int(RecordKind.DATA),
+            int(RecordKind.DATA),
+            int(RecordKind.COMMIT),
+        ]
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(RecordIntegrityError):
+            codec.decode(b"\x01\x02")
+
+    def test_unknown_kind(self):
+        data = bytearray(codec.encode(BeginRecord(0, 1, 0.0)))
+        data[0] = 99
+        with pytest.raises(RecordIntegrityError):
+            codec.decode(bytes(data))
+
+    def test_truncated_data_body(self):
+        data = codec.encode(DataLogRecord(0, 1, 0.0, 100, 1, 1))
+        with pytest.raises(RecordIntegrityError):
+            codec.decode(data[: codec.header_size + 2])
+
+    def test_truncated_padding(self):
+        data = codec.encode(DataLogRecord(0, 1, 0.0, 100, 1, 1))
+        with pytest.raises(RecordIntegrityError):
+            codec.decode(data[:-5])
+
+
+class TestPropertyRoundTrips:
+    @given(
+        lsn=st.integers(min_value=0, max_value=2**40),
+        tid=st.integers(min_value=0, max_value=2**40),
+        timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        size=st.integers(min_value=1, max_value=500),
+        oid=st.integers(min_value=0, max_value=10**7),
+        value=st.integers(min_value=-(2**31), max_value=2**31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_data_record_round_trip(self, lsn, tid, timestamp, size, oid, value):
+        record = DataLogRecord(lsn, tid, timestamp, size, oid, value)
+        decoded, _ = codec.decode(codec.encode(record))
+        assert isinstance(decoded, DataLogRecord)
+        assert decoded.lsn == lsn
+        assert decoded.tid == tid
+        assert decoded.timestamp == timestamp
+        assert decoded.size == size
+        assert decoded.oid == oid
+        assert decoded.value == value
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["begin", "commit", "abort", "data"]),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_block_round_trip(self, specs):
+        records = []
+        for lsn, (kind, tid) in enumerate(specs):
+            if kind == "begin":
+                records.append(BeginRecord(lsn, tid, float(lsn)))
+            elif kind == "commit":
+                records.append(CommitRecord(lsn, tid, float(lsn)))
+            elif kind == "abort":
+                records.append(AbortRecord(lsn, tid, float(lsn)))
+            else:
+                records.append(DataLogRecord(lsn, tid, float(lsn), 64, lsn, lsn * 2))
+        decoded = codec.decode_block(codec.encode_block(records))
+        assert [r.lsn for r in decoded] == [r.lsn for r in records]
+        assert [r.kind for r in decoded] == [r.kind for r in records]

@@ -1,0 +1,134 @@
+"""Tests for the continuous, locality-aware flush scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flushqueue import FlushScheduler
+from repro.db.database import StableDatabase
+from repro.disk.partition import RangePartitioner
+
+from tests.conftest import make_data_record
+
+
+def make_scheduler(sim, num_objects=100, drives=2, write_seconds=0.01, completions=None):
+    sink = completions if completions is not None else []
+    db = StableDatabase(num_objects)
+    scheduler = FlushScheduler(
+        sim,
+        db,
+        RangePartitioner(num_objects, drives),
+        drives,
+        write_seconds,
+        on_flush_complete=lambda record: sink.append(record),
+    )
+    return scheduler, db, sink
+
+
+class TestSubmission:
+    def test_submit_starts_idle_drive(self, sim):
+        scheduler, db, done = make_scheduler(sim)
+        scheduler.submit(make_data_record(oid=5, value=9))
+        sim.run()
+        assert len(done) == 1
+        assert db.value_of(5) == 9
+        assert scheduler.completed == 1
+
+    def test_backlog_and_peak(self, sim):
+        scheduler, _, _ = make_scheduler(sim, drives=1)
+        for oid in (1, 2, 3):
+            scheduler.submit(make_data_record(lsn=oid, oid=oid))
+        # One is in service, two queued.
+        assert scheduler.backlog() == 2
+        assert scheduler.peak_backlog >= 2
+        sim.run()
+        assert scheduler.backlog() == 0
+
+    def test_submit_replaces_stale_request(self, sim):
+        scheduler, db, _ = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=1, value=10))  # in service
+        scheduler.submit(make_data_record(lsn=1, oid=2, value=20, timestamp=1.0))
+        scheduler.submit(make_data_record(lsn=2, oid=2, value=30, timestamp=2.0))
+        assert scheduler.superseded_in_pool == 1
+        sim.run()
+        assert db.value_of(2) == 30
+
+    def test_cancel_removes_pending(self, sim):
+        scheduler, _, done = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=1))
+        pending = make_data_record(lsn=1, oid=2)
+        scheduler.submit(pending)
+        assert scheduler.cancel(2) is pending
+        sim.run()
+        assert len(done) == 1
+
+    def test_cancel_unknown_returns_none(self, sim):
+        scheduler, _, _ = make_scheduler(sim)
+        assert scheduler.cancel(7) is None
+
+    def test_max_rate(self, sim):
+        scheduler, _, _ = make_scheduler(sim, drives=2, write_seconds=0.025)
+        assert scheduler.max_rate == pytest.approx(80.0)
+
+
+class TestLocalityScheduling:
+    def test_nearest_pending_serviced_first(self, sim):
+        # One drive over oids [0, 100).  50 goes into service immediately;
+        # 10, 55 and 90 queue behind it.  From position 50: 55 (distance 5),
+        # then from 55: 90 (35) beats 10 (45), then 10.
+        scheduler, _, done = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=50))
+        for lsn, oid in ((1, 10), (2, 55), (3, 90)):
+            scheduler.submit(make_data_record(lsn=lsn, oid=oid))
+        sim.run()
+        assert [r.oid for r in done] == [50, 55, 90, 10]
+
+    def test_wraparound_distance_used(self, sim):
+        # Position 95; candidates 5 (distance 10 via wrap) and 80 (distance 15).
+        scheduler, _, done = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=95))
+        scheduler.submit(make_data_record(lsn=1, oid=80))
+        scheduler.submit(make_data_record(lsn=2, oid=5))
+        sim.run()
+        assert [r.oid for r in done] == [95, 5, 80]
+
+    def test_seek_distance_statistics(self, sim):
+        scheduler, _, _ = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=10))
+        sim.run()
+        scheduler.submit(make_data_record(lsn=1, oid=30))
+        sim.run()
+        assert scheduler.mean_seek_distance() == pytest.approx(20.0)
+
+    def test_oids_route_to_their_drives(self, sim):
+        scheduler, _, _ = make_scheduler(sim, num_objects=100, drives=2)
+        scheduler.submit(make_data_record(lsn=0, oid=10))  # drive 0
+        scheduler.submit(make_data_record(lsn=1, oid=60))  # drive 1
+        assert scheduler.drives[0].busy and scheduler.drives[1].busy
+
+
+class TestDemandFlush:
+    def test_demand_flush_installs_immediately(self, sim):
+        scheduler, db, done = make_scheduler(sim)
+        record = make_data_record(oid=5, value=77)
+        scheduler.demand_flush(record)
+        assert db.value_of(5) == 77  # before any simulated time passes
+        assert scheduler.demand_flushes == 1
+        assert done == [record]
+
+    def test_demand_flush_removes_pending_duplicate(self, sim):
+        scheduler, _, done = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=1))  # occupies the drive
+        queued = make_data_record(lsn=1, oid=2)
+        scheduler.submit(queued)
+        scheduler.demand_flush(queued)
+        sim.run()
+        # Completion for oid 1 plus the demand flush; oid 2 never re-serviced.
+        assert [r.oid for r in done] == [2, 1]
+
+    def test_demand_flush_counts_locality_sample(self, sim):
+        scheduler, _, _ = make_scheduler(sim, drives=1)
+        scheduler.submit(make_data_record(lsn=0, oid=10))
+        sim.run()
+        scheduler.demand_flush(make_data_record(lsn=1, oid=40))
+        assert scheduler.mean_seek_distance() == pytest.approx(30.0)

@@ -1,0 +1,165 @@
+"""Tests for the Generation mechanics (both tail channels, head, durability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generation import Generation
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+from tests.conftest import make_data_record
+
+
+def make_generation(sim: Simulator, capacity: int = 6, payload: int = 250,
+                    events: list | None = None) -> Generation:
+    sink = events if events is not None else []
+    return Generation(
+        sim,
+        0,
+        capacity,
+        payload_bytes=payload,
+        buffer_count=4,
+        write_seconds=0.015,
+        on_block_durable=lambda gen, image: sink.append(image),
+    )
+
+
+class TestFreshChannel:
+    def test_first_append_reserves_a_slot(self, sim):
+        gen = make_generation(sim)
+        address, reserved = gen.append(make_data_record(size=100))
+        assert reserved
+        assert address.slot == 0
+        assert gen.array.used == 1
+
+    def test_same_block_until_full(self, sim):
+        gen = make_generation(sim, payload=250)
+        a1, r1 = gen.append(make_data_record(lsn=0, size=100))
+        a2, r2 = gen.append(make_data_record(lsn=1, size=100))
+        assert a1 == a2 and r1 and not r2
+
+    def test_full_buffer_sealed_and_written(self, sim):
+        events = []
+        gen = make_generation(sim, events=events)
+        gen.append(make_data_record(lsn=0, size=100))
+        gen.append(make_data_record(lsn=1, size=100))
+        address, reserved = gen.append(make_data_record(lsn=2, size=100))
+        assert reserved and address.slot == 1  # rolled to a new block
+        assert gen.blocks_written == 1
+        sim.run()
+        assert len(events) == 1
+        assert [r.lsn for r in events[0]] == [0, 1]
+
+    def test_durable_set_after_write_time(self, sim):
+        gen = make_generation(sim)
+        gen.append(make_data_record(size=100))
+        gen.seal_current()
+        assert 0 not in gen.durable
+        assert 0 in gen.logical
+        sim.run()
+        assert 0 in gen.durable
+
+    def test_seal_without_buffer_raises(self, sim):
+        with pytest.raises(SimulationError):
+            make_generation(sim).seal_current()
+
+    def test_seal_open_buffers_when_empty(self, sim):
+        assert make_generation(sim).seal_open_buffers() == 0
+
+    def test_bytes_and_records_counted(self, sim):
+        gen = make_generation(sim)
+        gen.append(make_data_record(lsn=0, size=100))
+        gen.append(make_data_record(lsn=1, size=100))
+        gen.seal_current()
+        assert gen.records_appended == 2
+        assert gen.bytes_written == 200
+
+    def test_peak_used_tracks_reservations(self, sim):
+        gen = make_generation(sim, capacity=6)
+        for i in range(5):
+            gen.append(make_data_record(lsn=i, size=250))
+        assert gen.peak_used == 5
+
+
+class TestMigrationChannel:
+    def test_migration_independent_of_current(self, sim):
+        gen = make_generation(sim)
+        fresh_address, _ = gen.append(make_data_record(lsn=0, size=100))
+        migrated_address, reserved, sealed = gen.append_migrated(
+            make_data_record(lsn=1, size=100)
+        )
+        assert reserved and not sealed
+        assert migrated_address.slot != fresh_address.slot
+        assert gen.current is not None and gen.migration is not None
+
+    def test_migration_seals_when_full(self, sim):
+        gen = make_generation(sim, payload=250)
+        gen.append_migrated(make_data_record(lsn=0, size=200))
+        _, _, sealed = gen.append_migrated(make_data_record(lsn=1, size=100))
+        assert sealed
+        assert gen.blocks_written == 1
+
+    def test_seal_migration_returns_whether_sealed(self, sim):
+        gen = make_generation(sim)
+        assert not gen.seal_migration()
+        gen.append_migrated(make_data_record(size=100))
+        assert gen.seal_migration()
+        assert gen.migration is None
+
+    def test_seal_open_buffers(self, sim):
+        gen = make_generation(sim)
+        gen.append(make_data_record(lsn=0, size=100))
+        gen.append_migrated(make_data_record(lsn=1, size=100))
+        assert gen.seal_open_buffers() == 2
+        assert gen.current is None and gen.migration is None
+
+    def test_pre_reserve_hook_called_with_tail_slot(self, sim):
+        gen = make_generation(sim)
+        calls = []
+        gen.pre_reserve = lambda g, slot: calls.append(slot)
+        gen.append(make_data_record(size=100))
+        assert calls == [0]
+
+
+class TestHeadSide:
+    def test_free_head_returns_sealed_image(self, sim):
+        gen = make_generation(sim, payload=250)
+        gen.append(make_data_record(lsn=0, size=250))
+        gen.append(make_data_record(lsn=1, size=250))  # seals block 0
+        image = gen.free_head()
+        assert [r.lsn for r in image] == [0]
+        assert gen.array.used == 1
+
+    def test_free_head_on_open_buffer_raises(self, sim):
+        gen = make_generation(sim)
+        gen.append(make_data_record(size=100))  # block 0 still filling
+        with pytest.raises(SimulationError):
+            gen.free_head()
+
+    def test_head_image_none_when_empty(self, sim):
+        assert make_generation(sim).head_image() is None
+
+    def test_head_is_open_buffer_detection(self, sim):
+        gen = make_generation(sim)
+        assert gen.head_is_open_buffer() is None
+        gen.append(make_data_record(size=100))
+        assert gen.head_is_open_buffer() is gen.current
+
+    def test_durable_content_survives_slot_reuse_until_rewrite(self, sim):
+        events = []
+        gen = make_generation(sim, capacity=3, payload=250, events=events)
+        # Fill and seal slot 0, let it become durable.
+        gen.append(make_data_record(lsn=0, size=250))
+        gen.seal_current()
+        sim.run()
+        old = gen.durable[0]
+        gen.free_head()
+        # Reserve slot 1, 2, then wrap onto slot 0 again.
+        for lsn in (1, 2, 3):
+            gen.append(make_data_record(lsn=lsn, size=250))
+            gen.seal_current()
+        # The overwrite of slot 0 is still in flight: old content durable.
+        assert gen.durable[0] is old
+        sim.run()
+        assert gen.durable[0] is not old

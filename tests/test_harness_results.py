@@ -1,0 +1,77 @@
+"""Tests for SimulationResult derived metrics and (de)serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.results import GenerationResult, SimulationResult
+
+
+def make_result(**overrides) -> SimulationResult:
+    result = SimulationResult(
+        technique="el",
+        generation_sizes=[18, 16],
+        recirculation=False,
+        long_fraction=0.05,
+        runtime=100.0,
+        seed=0,
+        flush_write_seconds=0.025,
+    )
+    result.generations = [
+        GenerationResult(18, 1153, 2_200_000, 17, 11.53, 2, 0),
+        GenerationResult(16, 123, 240_000, 14, 1.23, 2, 0),
+    ]
+    for key, value in overrides.items():
+        setattr(result, key, value)
+    return result
+
+
+class TestDerived:
+    def test_total_blocks(self):
+        assert make_result().total_blocks == 34
+
+    def test_total_bandwidth(self):
+        assert make_result().total_bandwidth_wps == pytest.approx(12.76)
+
+    def test_last_generation_bandwidth(self):
+        assert make_result().last_generation_bandwidth_wps == pytest.approx(1.23)
+
+    def test_no_kills_feasibility(self):
+        assert make_result().no_kills
+        assert not make_result(transactions_killed=1).no_kills
+        assert not make_result(failed="log full").no_kills
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        assert set(summary) == {
+            "total_blocks",
+            "bandwidth_wps",
+            "memory_peak_bytes",
+            "kills",
+            "mean_seek_distance",
+        }
+
+    def test_empty_generations(self):
+        result = make_result()
+        result.generations = []
+        assert result.last_generation_bandwidth_wps == 0.0
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        original = make_result(transactions_committed=123)
+        restored = SimulationResult.from_dict(original.to_dict())
+        assert restored.transactions_committed == 123
+        assert restored.total_bandwidth_wps == pytest.approx(
+            original.total_bandwidth_wps
+        )
+        assert restored.generations[0].capacity_blocks == 18
+
+    def test_round_trip_through_json(self):
+        import json
+
+        original = make_result()
+        restored = SimulationResult.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert restored.generation_sizes == [18, 16]

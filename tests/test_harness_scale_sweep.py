@@ -1,0 +1,102 @@
+"""Tests for Scale selection and the sweep cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.scale import Scale
+from repro.harness.sweep import SweepCache
+
+
+class TestScale:
+    def test_paper_protocol(self):
+        scale = Scale.paper()
+        assert scale.runtime == 500.0
+        assert scale.mix_points[0] == 0.05
+        assert scale.mix_points[-1] == 0.40
+        assert len(scale.mix_points) == 8  # 5% steps
+
+    def test_quick_custom_runtime(self):
+        assert Scale.quick(60.0).runtime == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scale("x", 0.0, (0.05,), (18,), 1)
+        with pytest.raises(ConfigurationError):
+            Scale("x", 10.0, (), (18,), 1)
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert Scale.from_env().label == "paper"
+
+    def test_from_env_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert Scale.from_env().label == "smoke"
+
+    def test_from_env_runtime(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        monkeypatch.setenv("REPRO_RUNTIME", "77")
+        assert Scale.from_env().runtime == 77.0
+
+    def test_from_env_default_quick(self, monkeypatch):
+        for var in ("REPRO_FULL", "REPRO_SMOKE", "REPRO_RUNTIME"):
+            monkeypatch.delenv(var, raising=False)
+        assert Scale.from_env().label.startswith("quick")
+
+
+class TestSweepCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("k1", {"a": 1})
+        assert cache.get("k1") == {"a": 1}
+        assert cache.hits == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_get_or_compute(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 7}
+
+        assert cache.get_or_compute("k", compute) == {"v": 7}
+        assert cache.get_or_compute("k", compute) == {"v": 7}
+        assert len(calls) == 1
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = SweepCache(tmp_path, enabled=False)
+        cache.put("k", {"a": 1})
+        assert cache.get("k") is None
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_unsafe_key_characters_sanitised(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("a/b c:d", {"x": 1})
+        assert cache.get("a/b c:d") == {"x": 1}
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("k1", {})
+        cache.put("k2", {})
+        assert cache.clear() == 2
+        assert cache.get("k1") is None
+
+    def test_corrupt_file_treated_as_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("k", {"a": 1})
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        assert cache.get("k") is None
+
+    def test_env_override_for_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        cache = SweepCache()
+        assert cache.directory == tmp_path / "custom"

@@ -1,0 +1,105 @@
+"""Tests for the Simulation wiring (manager construction, capture, failure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ephemeral import EphemeralLogManager
+from repro.core.firewall import FirewallLogManager
+from repro.core.hybrid import HybridLogManager
+from repro.harness.config import SimulationConfig, Technique
+from repro.harness.simulator import Simulation, run_simulation
+
+
+def small(technique=Technique.EPHEMERAL, sizes=(8, 8), **kwargs) -> SimulationConfig:
+    defaults = dict(
+        technique=technique,
+        generation_sizes=sizes,
+        recirculation=technique is not Technique.FIREWALL,
+        long_fraction=0.1,
+        arrival_rate=20.0,
+        runtime=10.0,
+        num_objects=2000,
+        flush_drives=2,
+        flush_write_seconds=0.005,
+        sample_period=1.0,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestConstruction:
+    def test_builds_el_manager(self):
+        assert isinstance(Simulation(small()).manager, EphemeralLogManager)
+
+    def test_builds_fw_manager(self):
+        simulation = Simulation(small(Technique.FIREWALL, sizes=(40,)))
+        assert isinstance(simulation.manager, FirewallLogManager)
+
+    def test_builds_hybrid_manager(self):
+        simulation = Simulation(small(Technique.HYBRID, sizes=(12, 12)))
+        assert isinstance(simulation.manager, HybridLogManager)
+
+    def test_placement_policy_installed(self):
+        simulation = Simulation(small(placement_boundaries=(5.0,)))
+        assert simulation.manager.placement is not None
+
+    def test_samplers_registered(self):
+        simulation = Simulation(small())
+        assert "memory_bytes" in simulation.sampler.series
+        assert "flush_backlog" in simulation.sampler.series
+        assert "lot_entries" in simulation.sampler.series
+
+    def test_hybrid_has_no_lot_probe(self):
+        simulation = Simulation(small(Technique.HYBRID, sizes=(12, 12)))
+        assert "lot_entries" not in simulation.sampler.series
+
+
+class TestExecution:
+    def test_run_is_complete_and_collected(self):
+        result = Simulation(small()).run()
+        assert result.transactions_begun == 200
+        assert result.events_executed > 0
+        assert result.wall_seconds > 0
+        assert len(result.generations) == 2
+
+    def test_start_is_idempotent(self):
+        simulation = Simulation(small())
+        simulation.start()
+        simulation.start()
+        result = simulation.run()
+        assert result.transactions_begun == 200
+
+    def test_run_until_then_capture(self):
+        simulation = Simulation(small(collect_truth=True))
+        simulation.run_until(5.0)
+        images = simulation.capture_durable_log()
+        stable = simulation.capture_stable_database()
+        assert images, "some blocks must be durable after 5 s"
+        assert all(image.write_lsn is not None for image in images)
+        assert isinstance(stable, dict)
+
+    def test_capture_works_for_hybrid(self):
+        simulation = Simulation(small(Technique.HYBRID, sizes=(12, 12)))
+        simulation.run_until(5.0)
+        assert simulation.capture_durable_log()
+
+    def test_infeasible_configuration_reports_failed(self):
+        # A log too small for even one long transaction's records: the
+        # manager raises LogFullError, which the harness converts into a
+        # failed result instead of crashing the sweep.
+        config = small(
+            sizes=(3, 3),
+            long_fraction=1.0,
+            arrival_rate=50.0,
+            payload_bytes=200,
+            recirculation=True,
+        )
+        result = run_simulation(config)
+        assert result.failed is not None or result.transactions_killed > 0
+        assert not result.no_kills
+
+    def test_unfinished_transactions_counted(self):
+        result = Simulation(small(long_fraction=1.0)).run()
+        # 10-second transactions in a 10-second run: most never finish.
+        assert result.transactions_unfinished > 0

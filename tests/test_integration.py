@@ -1,0 +1,185 @@
+"""End-to-end integration tests at reduced scale.
+
+These run the full harness (workload -> log manager -> disks -> metrics)
+and assert the paper's qualitative findings plus cross-cutting invariants
+that only full runs can exercise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import SimulationConfig, Technique
+from repro.harness.simulator import Simulation, run_simulation
+
+RUNTIME = 40.0
+
+
+@pytest.fixture(scope="module")
+def el_result():
+    return run_simulation(
+        SimulationConfig.ephemeral(
+            (18, 16), recirculation=False, long_fraction=0.05, runtime=RUNTIME
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def fw_result():
+    return run_simulation(
+        SimulationConfig.firewall(123, long_fraction=0.05, runtime=RUNTIME)
+    )
+
+
+class TestPaperProperties:
+    def test_el_feasible_at_34_blocks(self, el_result):
+        # Figure 4, 5% point: EL (no recirculation) fits in 34 blocks.
+        assert el_result.no_kills
+
+    def test_fw_feasible_at_123_blocks(self, fw_result):
+        assert fw_result.no_kills
+
+    def test_fw_infeasible_well_below_its_minimum(self):
+        result = run_simulation(
+            SimulationConfig.firewall(80, long_fraction=0.05, runtime=RUNTIME)
+        )
+        assert result.transactions_killed > 0
+
+    def test_el_bandwidth_premium_is_modest(self, el_result, fw_result):
+        # "a factor of 3.6 [space] with only an 11% increase in bandwidth"
+        increase = el_result.total_bandwidth_wps / fw_result.total_bandwidth_wps - 1
+        assert 0.0 < increase < 0.25
+
+    def test_el_uses_more_memory_than_fw(self, el_result, fw_result):
+        assert el_result.memory_peak_bytes > fw_result.memory_peak_bytes
+
+    def test_group_commit_latency_exceeds_disk_write(self, el_result):
+        # "the delay ... is generally longer than tau_Disk_Write" (15 ms).
+        assert el_result.mean_commit_latency > 0.015
+
+    def test_throughput_reaches_arrival_rate(self, el_result):
+        assert el_result.transactions_begun == pytest.approx(
+            100 * RUNTIME, rel=0.01
+        )
+        unfinished_allowance = 0.05 * el_result.transactions_begun
+        assert el_result.transactions_committed >= (
+            el_result.transactions_begun - unfinished_allowance - 100
+        )
+
+    def test_recirculation_reduces_minimum_space(self):
+        no_recirc = run_simulation(
+            SimulationConfig.ephemeral(
+                (18, 10), recirculation=False, long_fraction=0.05, runtime=RUNTIME
+            )
+        )
+        with_recirc = run_simulation(
+            SimulationConfig.ephemeral(
+                (18, 10), recirculation=True, long_fraction=0.05, runtime=RUNTIME
+            )
+        )
+        assert no_recirc.transactions_killed > 0
+        assert with_recirc.no_kills
+
+    def test_scarce_flushing_increases_locality(self):
+        plentiful = run_simulation(
+            SimulationConfig.ephemeral(
+                (20, 12), long_fraction=0.05, runtime=RUNTIME,
+                flush_write_seconds=0.025,
+            )
+        )
+        scarce = run_simulation(
+            SimulationConfig.ephemeral(
+                (20, 12), long_fraction=0.05, runtime=RUNTIME,
+                flush_write_seconds=0.045,
+            )
+        )
+        assert scarce.flush_mean_seek_distance < plentiful.flush_mean_seek_distance
+        assert scarce.flush_peak_backlog > plentiful.flush_peak_backlog
+
+
+class TestCrossCuttingInvariants:
+    def test_structural_invariants_after_full_run(self):
+        simulation = Simulation(
+            SimulationConfig.ephemeral(
+                (18, 12), long_fraction=0.1, runtime=RUNTIME
+            )
+        )
+        simulation.run()
+        simulation.manager.check_invariants()
+
+    def test_record_conservation(self):
+        simulation = Simulation(
+            SimulationConfig.ephemeral((18, 12), long_fraction=0.05, runtime=RUNTIME)
+        )
+        simulation.run()
+        manager = simulation.manager
+        appended = sum(g.records_appended for g in manager.generations)
+        assert appended == (
+            manager.fresh_records
+            + manager.forwarded_records
+            + manager.recirculated_records
+            + manager.emergency_recirculations
+        )
+
+    def test_buffer_pool_never_exceeds_paper_allowance(self, el_result):
+        # Four buffers per generation must suffice for the paper workload.
+        for generation in el_result.generations:
+            assert generation.buffer_overdrafts == 0
+            assert generation.buffer_peak_in_use <= 4
+
+    def test_flushes_keep_up_at_default_rate(self, el_result):
+        # 400 flushes/s of capacity against ~210 update/s: tiny backlog.
+        assert el_result.flush_peak_backlog < 100
+        assert el_result.demand_flushes <= el_result.flushes_completed * 0.01 + 5
+
+    def test_poisson_arrivals_also_run(self):
+        result = run_simulation(
+            SimulationConfig.ephemeral(
+                (20, 16), long_fraction=0.05, runtime=20.0, poisson_arrivals=True
+            )
+        )
+        assert result.transactions_begun > 0
+        assert result.failed is None
+
+    def test_placement_policy_routes_long_transactions(self):
+        result = run_simulation(
+            SimulationConfig.ephemeral(
+                (18, 16),
+                long_fraction=0.2,
+                runtime=20.0,
+                placement_boundaries=(5.0,),
+            )
+        )
+        # Long transactions' records start in generation 1, so it sees
+        # fresh traffic beyond forwarded blocks; both generations write.
+        assert result.generations[1].blocks_written > 0
+        assert result.failed is None
+
+    def test_hybrid_runs_at_scale(self):
+        result = run_simulation(
+            SimulationConfig(
+                technique=Technique.HYBRID,
+                generation_sizes=(24, 40),
+                recirculation=True,
+                long_fraction=0.05,
+                runtime=20.0,
+            )
+        )
+        assert result.transactions_committed > 0
+        assert result.failed is None
+
+    def test_determinism_same_seed(self):
+        config = SimulationConfig.ephemeral(
+            (18, 12), long_fraction=0.1, runtime=15.0, seed=7
+        )
+        a = run_simulation(config)
+        b = run_simulation(config)
+        assert a.to_dict() == {**b.to_dict(), "wall_seconds": a.wall_seconds}
+
+    def test_different_seeds_differ(self):
+        base = SimulationConfig.ephemeral((18, 12), long_fraction=0.1, runtime=15.0)
+        a = run_simulation(base.replace(seed=1))
+        b = run_simulation(base.replace(seed=2))
+        assert a.updates_written != b.updates_written or (
+            a.flush_mean_seek_distance != b.flush_mean_seek_distance
+        )

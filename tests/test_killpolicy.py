@@ -1,0 +1,54 @@
+"""Tests for transaction kill policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.killpolicy import KillPolicy
+from repro.core.ltt import LoggedTransactionTable, TxStatus
+from repro.errors import LogFullError
+
+
+def make_ltt() -> LoggedTransactionTable:
+    ltt = LoggedTransactionTable()
+    ltt.begin(1, 1.0)
+    ltt.begin(2, 2.0)
+    ltt.begin(3, 3.0)
+    return ltt
+
+
+class TestBlocking:
+    def test_kills_blocking_tid(self):
+        assert KillPolicy.BLOCKING.choose_victim(make_ltt(), 2) == 2
+
+    def test_falls_back_to_oldest_without_blocking_tid(self):
+        assert KillPolicy.BLOCKING.choose_victim(make_ltt(), None) == 1
+
+    def test_falls_back_when_blocking_tx_not_live(self):
+        ltt = make_ltt()
+        ltt.require(2).status = TxStatus.COMMITTED
+        assert KillPolicy.BLOCKING.choose_victim(ltt, 2) == 1
+
+    def test_falls_back_when_blocking_tx_unknown(self):
+        assert KillPolicy.BLOCKING.choose_victim(make_ltt(), 99) == 1
+
+
+class TestOldest:
+    def test_kills_oldest_live(self):
+        assert KillPolicy.OLDEST.choose_victim(make_ltt(), 3) == 1
+
+    def test_skips_non_live(self):
+        ltt = make_ltt()
+        ltt.require(1).status = TxStatus.COMMITTED
+        assert KillPolicy.OLDEST.choose_victim(ltt, None) == 2
+
+
+class TestForbidAndEmpty:
+    def test_forbid_raises(self):
+        with pytest.raises(LogFullError):
+            KillPolicy.FORBID.choose_victim(make_ltt(), 1)
+
+    def test_no_live_transactions_raises(self):
+        ltt = LoggedTransactionTable()
+        with pytest.raises(LogFullError):
+            KillPolicy.OLDEST.choose_victim(ltt, None)

@@ -1,0 +1,115 @@
+"""Tests for the logged transaction table (LTT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cells import Cell
+from repro.core.ltt import LoggedTransactionTable, TxStatus
+from repro.disk.block import BlockAddress
+from repro.errors import SimulationError
+
+from tests.conftest import make_begin
+
+
+class TestLifecycle:
+    def test_begin_creates_active_entry(self):
+        ltt = LoggedTransactionTable()
+        entry = ltt.begin(1, 0.5)
+        assert entry.status is TxStatus.ACTIVE
+        assert entry.begin_time == 0.5
+        assert entry.is_live
+        assert 1 in ltt and len(ltt) == 1
+
+    def test_duplicate_begin_raises(self):
+        ltt = LoggedTransactionTable()
+        ltt.begin(1, 0.0)
+        with pytest.raises(SimulationError):
+            ltt.begin(1, 1.0)
+
+    def test_remove(self):
+        ltt = LoggedTransactionTable()
+        ltt.begin(1, 0.0)
+        ltt.remove(1)
+        assert 1 not in ltt
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            LoggedTransactionTable().remove(9)
+
+    def test_require(self):
+        ltt = LoggedTransactionTable()
+        ltt.begin(1, 0.0)
+        assert ltt.require(1).tid == 1
+        with pytest.raises(SimulationError):
+            ltt.require(2)
+
+    def test_get_returns_none_for_unknown(self):
+        assert LoggedTransactionTable().get(1) is None
+
+
+class TestStatusProperties:
+    def test_commit_pending_is_live(self):
+        ltt = LoggedTransactionTable()
+        entry = ltt.begin(1, 0.0)
+        entry.status = TxStatus.COMMIT_PENDING
+        assert entry.is_live
+
+    def test_committed_is_not_live(self):
+        ltt = LoggedTransactionTable()
+        entry = ltt.begin(1, 0.0)
+        entry.status = TxStatus.COMMITTED
+        assert not entry.is_live
+
+    def test_settled_requires_committed_and_no_oids(self):
+        ltt = LoggedTransactionTable()
+        entry = ltt.begin(1, 0.0)
+        entry.status = TxStatus.COMMITTED
+        entry.oids.add(5)
+        assert not entry.settled
+        entry.oids.clear()
+        assert entry.settled
+
+    def test_active_with_no_oids_is_not_settled(self):
+        ltt = LoggedTransactionTable()
+        entry = ltt.begin(1, 0.0)
+        assert not entry.settled
+
+    def test_default_home_generation(self):
+        ltt = LoggedTransactionTable()
+        assert ltt.begin(1, 0.0).home_generation == 0
+
+    def test_tx_cell_assignment(self):
+        ltt = LoggedTransactionTable()
+        entry = ltt.begin(1, 0.0)
+        cell = Cell(make_begin(tid=1), BlockAddress(0, 0))
+        entry.tx_cell = cell
+        assert entry.tx_cell is cell
+
+
+class TestOldestLive:
+    def test_oldest_live_by_begin_time(self):
+        ltt = LoggedTransactionTable()
+        ltt.begin(1, 5.0)
+        ltt.begin(2, 1.0)
+        ltt.begin(3, 3.0)
+        oldest = ltt.oldest_live()
+        assert oldest is not None and oldest.tid == 2
+
+    def test_oldest_live_skips_committed(self):
+        ltt = LoggedTransactionTable()
+        first = ltt.begin(1, 1.0)
+        ltt.begin(2, 2.0)
+        first.status = TxStatus.COMMITTED
+        oldest = ltt.oldest_live()
+        assert oldest is not None and oldest.tid == 2
+
+    def test_oldest_live_none_when_empty(self):
+        assert LoggedTransactionTable().oldest_live() is None
+
+    def test_live_count(self):
+        ltt = LoggedTransactionTable()
+        ltt.begin(1, 0.0)
+        second = ltt.begin(2, 0.5)
+        second.status = TxStatus.COMMITTED
+        assert ltt.live_count() == 1

@@ -1,0 +1,31 @@
+"""Tests for the paper's memory-accounting model."""
+
+from __future__ import annotations
+
+from repro.core.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_el_constants(self):
+        model = MemoryModel.ephemeral()
+        assert model.bytes_per_transaction == 40
+        assert model.bytes_per_object == 40
+
+    def test_fw_constants(self):
+        model = MemoryModel.firewall()
+        assert model.bytes_per_transaction == 22
+        assert model.bytes_per_object == 0
+
+    def test_el_accounting(self):
+        # "40 bytes for each transaction and 40 bytes for each updated
+        # (but unflushed) object."
+        assert MemoryModel.ephemeral().bytes_used(10, 25) == 10 * 40 + 25 * 40
+
+    def test_fw_accounting_ignores_objects(self):
+        assert MemoryModel.firewall().bytes_used(10, 9999) == 220
+
+    def test_zero(self):
+        assert MemoryModel.ephemeral().bytes_used(0, 0) == 0
+
+    def test_custom_model(self):
+        assert MemoryModel(bytes_per_transaction=8, bytes_per_object=2).bytes_used(3, 4) == 32

@@ -1,0 +1,48 @@
+"""Tests for the lifetime-hint placement policy extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import LifetimePlacementPolicy
+from repro.errors import ConfigurationError
+
+
+class TestPlacement:
+    def test_no_hint_goes_to_generation_zero(self):
+        policy = LifetimePlacementPolicy([2.0])
+        assert policy.generation_for(None, 3) == 0
+
+    def test_short_lifetime_stays_young(self):
+        policy = LifetimePlacementPolicy([2.0, 20.0])
+        assert policy.generation_for(1.0, 3) == 0
+
+    def test_boundaries_route_upward(self):
+        policy = LifetimePlacementPolicy([2.0, 20.0])
+        assert policy.generation_for(5.0, 3) == 1
+        assert policy.generation_for(50.0, 3) == 2
+
+    def test_boundary_value_is_inclusive_upward(self):
+        policy = LifetimePlacementPolicy([2.0])
+        assert policy.generation_for(2.0, 2) == 1
+
+    def test_clamped_to_oldest_generation(self):
+        policy = LifetimePlacementPolicy([1.0, 2.0, 3.0])
+        assert policy.generation_for(100.0, 2) == 1
+
+    def test_empty_boundaries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LifetimePlacementPolicy([])
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LifetimePlacementPolicy([5.0, 1.0])
+
+    def test_non_positive_boundary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LifetimePlacementPolicy([0.0])
+
+    def test_generation_count_must_be_positive(self):
+        policy = LifetimePlacementPolicy([1.0])
+        with pytest.raises(ConfigurationError):
+            policy.generation_for(1.0, 0)

@@ -1,0 +1,130 @@
+"""Additional property-based tests across module seams.
+
+These complement the per-module suites: Figure-3 schedule invariants for
+arbitrary transaction types, event-engine determinism under random loads,
+and monotonicity of the sizing advisor.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sizing import recommend_generation_sizes
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRng
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import TransactionType, WorkloadMix
+
+from tests.test_workload_generator import FakeManager
+
+
+class TestFigure3ScheduleProperties:
+    @given(
+        duration=st.floats(min_value=0.05, max_value=30.0),
+        record_count=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_record_times_follow_figure3(self, duration, record_count):
+        """For any type: data records equally spaced, last at T - eps,
+        COMMIT at exactly T."""
+        sim = Simulator()
+        manager = FakeManager(sim)
+        mix = WorkloadMix(
+            [TransactionType("t", 1.0, duration, record_count, 50)]
+        )
+        generator = WorkloadGenerator(
+            sim,
+            manager,
+            mix,
+            arrival_rate=1.0,
+            runtime=0.5,  # exactly one arrival at t=0
+            rng=SimRng(0),
+            num_objects=1000,
+        )
+        generator.start()
+        sim.run_until(duration + 1.0)
+
+        epsilon = generator.epsilon
+        times = [t for (_, _, _, _, t) in manager.updates]
+        assert len(times) == record_count
+        spacing = (duration - epsilon) / record_count
+        expected = [(i + 1) * spacing for i in range(record_count)]
+        assert times == pytest.approx(expected)
+        assert times[-1] == pytest.approx(duration - epsilon)
+        assert manager.commits == [(1, pytest.approx(duration))]
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_all_oids_unique_among_concurrent_transactions(self, seed):
+        sim = Simulator()
+        manager = FakeManager(sim, ack_delay=10.0)  # nothing ever finishes
+        mix = WorkloadMix([TransactionType("t", 1.0, 5.0, 4, 50)])
+        generator = WorkloadGenerator(
+            sim,
+            manager,
+            mix,
+            arrival_rate=10.0,
+            runtime=3.0,
+            rng=SimRng(seed),
+            num_objects=500,
+        )
+        generator.start()
+        sim.run_until(4.0)
+        live_oids = [oid for (_, oid, _, _, _) in manager.updates]
+        assert len(live_oids) == len(set(live_oids))
+
+
+class TestEngineDeterminismProperty:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_schedule_same_order(self, delays):
+        def run() -> list:
+            sim = Simulator()
+            order = []
+            for index, delay in enumerate(delays):
+                sim.at(delay, order.append, index)
+            sim.run()
+            return order
+
+        first = run()
+        assert first == run()
+        # Within equal timestamps, insertion order is preserved.
+        by_time: dict = {}
+        for index, delay in enumerate(delays):
+            by_time.setdefault(delay, []).append(index)
+        for group in by_time.values():
+            positions = [first.index(i) for i in group]
+            assert positions == sorted(positions)
+
+
+class TestSizingMonotonicityProperties:
+    @given(
+        fraction_low=st.floats(min_value=0.0, max_value=0.5),
+        bump=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_blocks_monotone_in_long_fraction(self, fraction_low, bump):
+        from repro.workload.spec import paper_mix
+
+        low = recommend_generation_sizes(paper_mix(fraction_low), 100.0)
+        high = recommend_generation_sizes(paper_mix(fraction_low + bump), 100.0)
+        assert high.total_blocks >= low.total_blocks
+
+    @given(rate=st.floats(min_value=10.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_total_blocks_monotone_in_rate(self, rate):
+        from repro.workload.spec import paper_mix
+
+        base = recommend_generation_sizes(paper_mix(0.1), rate)
+        double = recommend_generation_sizes(paper_mix(0.1), rate * 2)
+        assert double.total_blocks >= base.total_blocks
+        assert all(
+            d >= b
+            for d, b in zip(double.generation_sizes, base.generation_sizes)
+        )

@@ -1,0 +1,79 @@
+"""Tests for the log record model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RecordIntegrityError
+from repro.records.base import LogRecord, RecordKind, next_lsn_factory
+from repro.records.data import DataLogRecord
+from repro.records.tx import AbortRecord, BeginRecord, CommitRecord
+
+from tests.conftest import make_data_record
+
+
+class TestRecordKind:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (RecordKind.BEGIN, True),
+            (RecordKind.COMMIT, True),
+            (RecordKind.ABORT, True),
+            (RecordKind.DATA, False),
+        ],
+    )
+    def test_is_tx(self, kind, expected):
+        assert kind.is_tx is expected
+
+    def test_class_kinds(self):
+        assert BeginRecord.kind is RecordKind.BEGIN
+        assert CommitRecord.kind is RecordKind.COMMIT
+        assert AbortRecord.kind is RecordKind.ABORT
+        assert DataLogRecord.kind is RecordKind.DATA
+
+
+class TestLogRecord:
+    def test_tx_records_default_to_8_bytes(self):
+        assert BeginRecord(0, 1, 0.0).size == 8
+        assert CommitRecord(1, 1, 0.5).size == 8
+        assert AbortRecord(2, 1, 0.5).size == 8
+
+    def test_data_record_fields(self):
+        record = make_data_record(lsn=3, tid=9, timestamp=1.25, size=100, oid=77, value=5)
+        assert (record.lsn, record.tid, record.timestamp) == (3, 9, 1.25)
+        assert (record.oid, record.value, record.size) == (77, 5, 100)
+
+    def test_new_record_is_garbage_until_a_cell_points_at_it(self):
+        record = make_data_record()
+        assert record.is_garbage  # no cell yet
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(RecordIntegrityError):
+            DataLogRecord(0, 1, 0.0, 0, 1, 1)
+
+    def test_negative_lsn_rejected(self):
+        with pytest.raises(RecordIntegrityError):
+            BeginRecord(-1, 1, 0.0)
+
+    def test_sort_key_orders_by_timestamp_then_lsn(self):
+        a = make_data_record(lsn=2, timestamp=1.0)
+        b = make_data_record(lsn=1, timestamp=1.0)
+        c = make_data_record(lsn=0, timestamp=2.0)
+        ordered = sorted([c, a, b], key=LogRecord.sort_key)
+        assert [r.lsn for r in ordered] == [1, 2, 0]
+
+
+class TestLsnFactory:
+    def test_monotone_from_zero(self):
+        gen = next_lsn_factory()
+        assert [gen() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_custom_start(self):
+        gen = next_lsn_factory(10)
+        assert gen() == 10
+
+    def test_factories_are_independent(self):
+        a = next_lsn_factory()
+        b = next_lsn_factory()
+        a()
+        assert b() == 0

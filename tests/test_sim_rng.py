@@ -1,0 +1,62 @@
+"""Tests for the named-substream RNG facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import SimRng
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = SimRng(7).stream("x")
+        b = SimRng(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        rng = SimRng(7)
+        xs = [rng.stream("x").random() for _ in range(5)]
+        ys = [rng.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        assert SimRng(1).stream("x").random() != SimRng(2).stream("x").random()
+
+    def test_stream_is_cached(self):
+        rng = SimRng(0)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_streams_are_independent_of_creation_order(self):
+        first = SimRng(3)
+        first.stream("a").random()  # consume from a
+        value_b_after = first.stream("b").random()
+        fresh = SimRng(3)
+        value_b_only = fresh.stream("b").random()
+        assert value_b_after == value_b_only
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            SimRng("seed")  # type: ignore[arg-type]
+
+
+class TestHelpers:
+    def test_choice_index_respects_weights(self):
+        rng = SimRng(11)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[rng.choice_index("c", [0.9, 0.1])] += 1
+        assert counts[0] > counts[1] * 4
+
+    def test_choice_index_single_weight(self):
+        assert SimRng(0).choice_index("c", [1.0]) == 0
+
+    def test_choice_index_zero_weight_never_chosen(self):
+        rng = SimRng(5)
+        for _ in range(500):
+            assert rng.choice_index("c", [0.0, 1.0, 0.0]) == 1
+
+    def test_randrange_bounds(self):
+        rng = SimRng(13)
+        values = {rng.randrange("r", 10) for _ in range(500)}
+        assert values <= set(range(10))
+        assert len(values) == 10

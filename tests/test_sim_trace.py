@@ -1,0 +1,58 @@
+"""Tests for the trace log."""
+
+from __future__ import annotations
+
+from repro.sim.trace import NULL_TRACE, TraceLog
+
+
+class TestTraceLog:
+    def test_emit_and_iterate(self):
+        trace = TraceLog()
+        trace.emit(1.0, "lm", "kill", {"tid": 3})
+        events = list(trace)
+        assert len(events) == 1
+        assert events[0].time == 1.0
+        assert events[0].detail == {"tid": 3}
+
+    def test_disabled_trace_records_nothing(self):
+        trace = TraceLog(enabled=False)
+        trace.emit(1.0, "lm", "kill")
+        assert len(trace) == 0
+
+    def test_null_trace_is_disabled(self):
+        NULL_TRACE.emit(0.0, "x", "y")
+        assert len(NULL_TRACE) == 0
+
+    def test_select_by_source(self):
+        trace = TraceLog()
+        trace.emit(1.0, "a", "k1")
+        trace.emit(2.0, "b", "k1")
+        assert len(trace.select(source="a")) == 1
+
+    def test_select_by_kind(self):
+        trace = TraceLog()
+        trace.emit(1.0, "a", "k1")
+        trace.emit(2.0, "a", "k2")
+        assert [e.kind for e in trace.select(kind="k2")] == ["k2"]
+
+    def test_select_combined(self):
+        trace = TraceLog()
+        trace.emit(1.0, "a", "k1")
+        trace.emit(2.0, "a", "k2")
+        trace.emit(3.0, "b", "k2")
+        assert len(trace.select(source="a", kind="k2")) == 1
+
+    def test_capacity_drops_overflow(self):
+        trace = TraceLog(capacity=2)
+        for i in range(5):
+            trace.emit(float(i), "s", "k")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_clear(self):
+        trace = TraceLog(capacity=1)
+        trace.emit(0.0, "s", "k")
+        trace.emit(1.0, "s", "k")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0

@@ -1,0 +1,40 @@
+"""Tests for arrival processes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+
+
+class TestDeterministic:
+    def test_fixed_interval(self):
+        process = DeterministicArrivals(100.0)
+        rng = random.Random(0)
+        assert [process.next_interval(rng) for _ in range(3)] == [0.01] * 3
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            DeterministicArrivals(0.0)
+
+
+class TestPoisson:
+    def test_mean_interval_matches_rate(self):
+        process = PoissonArrivals(100.0)
+        rng = random.Random(42)
+        samples = [process.next_interval(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.05)
+
+    def test_intervals_vary(self):
+        process = PoissonArrivals(10.0)
+        rng = random.Random(1)
+        samples = {round(process.next_interval(rng), 9) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_deterministic_given_seed(self):
+        a = [PoissonArrivals(5.0).next_interval(random.Random(3)) for _ in range(1)]
+        b = [PoissonArrivals(5.0).next_interval(random.Random(3)) for _ in range(1)]
+        assert a == b

@@ -1,0 +1,89 @@
+"""Tests for transaction types and workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.spec import TransactionType, WorkloadMix, paper_mix
+
+
+class TestTransactionType:
+    def test_valid_type(self):
+        t = TransactionType("t", 0.5, 1.0, 2, 100)
+        assert t.record_count == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(probability=-0.1),
+            dict(probability=1.5),
+            dict(duration=0.0),
+            dict(record_count=-1),
+            dict(record_bytes=0),
+        ],
+    )
+    def test_invalid_fields(self, kwargs):
+        base = dict(name="t", probability=0.5, duration=1.0, record_count=2, record_bytes=100)
+        base.update(kwargs)
+        with pytest.raises(WorkloadError):
+            TransactionType(**base)
+
+
+class TestWorkloadMix:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMix([TransactionType("a", 0.5, 1.0, 1, 10)])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMix([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMix(
+                [
+                    TransactionType("a", 0.5, 1.0, 1, 10),
+                    TransactionType("a", 0.5, 2.0, 1, 10),
+                ]
+            )
+
+    def test_mean_updates(self):
+        mix = paper_mix(0.05)
+        assert mix.mean_updates_per_transaction() == pytest.approx(2.1)
+
+    def test_mean_updates_at_forty_percent(self):
+        # "the average number of updates per second rises from 210 to 280"
+        # at 100 TPS: 2.1 -> 2.8 updates per transaction.
+        assert paper_mix(0.40).mean_updates_per_transaction() == pytest.approx(2.8)
+
+    def test_mean_log_bytes(self):
+        mix = paper_mix(0.05)
+        expected = 0.95 * (16 + 200) + 0.05 * (16 + 400)
+        assert mix.mean_log_bytes_per_transaction() == pytest.approx(expected)
+
+    def test_mean_duration(self):
+        assert paper_mix(0.05).mean_duration() == pytest.approx(0.95 + 0.5)
+
+    def test_iteration_and_len(self):
+        mix = paper_mix(0.2)
+        assert len(mix) == 2
+        assert [t.name for t in mix] == ["short-1s", "long-10s"]
+
+
+class TestPaperMix:
+    def test_types_match_section_4(self):
+        mix = paper_mix(0.05)
+        short, long_ = mix.types
+        assert (short.duration, short.record_count, short.record_bytes) == (1.0, 2, 100)
+        assert (long_.duration, long_.record_count, long_.record_bytes) == (10.0, 4, 100)
+        assert short.probability == pytest.approx(0.95)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_fraction_bounds(self, fraction):
+        with pytest.raises(WorkloadError):
+            paper_mix(fraction)
+
+    def test_all_long_mix_is_legal(self):
+        mix = paper_mix(1.0)
+        assert mix.mean_updates_per_transaction() == pytest.approx(4.0)
