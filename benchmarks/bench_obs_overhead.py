@@ -1,0 +1,65 @@
+"""Overhead guard for the observability layer.
+
+Not a paper artifact: runs the same paper-style simulation with
+observability fully off and fully on (trace + metrics + JSONL export) and
+reports the wall-time delta.  The disabled path is the one the figure
+benches run on, so it must stay essentially free; the enabled path is
+allowed to cost real time (it serialises every event) but not absurdly so.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.config import SimulationConfig
+from repro.harness.simulator import run_simulation
+from repro.obs import ObsConfig
+
+
+def _timed_run(config: SimulationConfig, repeats: int = 3) -> float:
+    """Best-of-N wall time for one configuration (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_simulation(config)
+        elapsed = time.perf_counter() - started
+        assert result.transactions_committed > 0
+        best = min(best, elapsed)
+    return best
+
+
+def test_observability_overhead(publish, tmp_path):
+    base = SimulationConfig.ephemeral(
+        generation_sizes=(18, 16),
+        recirculation=True,
+        long_fraction=0.05,
+        runtime=30.0,
+    )
+    disabled = _timed_run(base)
+    enabled = _timed_run(
+        base.replace(
+            obs=ObsConfig.full(
+                jsonl_path=str(tmp_path / "overhead.jsonl"),
+                manifest_path=str(tmp_path / "overhead.manifest.json"),
+            )
+        )
+    )
+    baseline = _timed_run(base)  # re-measure to bound wall-clock noise
+    disabled = min(disabled, baseline)
+    delta = enabled / disabled - 1.0
+
+    publish(
+        "bench_obs_overhead",
+        "\n".join(
+            [
+                "Observability overhead (30 s simulated, 18+16 blocks, recirc):",
+                f"  obs disabled : {disabled * 1000:8.1f} ms wall",
+                f"  obs enabled  : {enabled * 1000:8.1f} ms wall "
+                "(trace + metrics + JSONL export)",
+                f"  delta        : {delta:+.1%}",
+            ]
+        ),
+    )
+    # The enabled path serialises tens of thousands of events; generous
+    # bound, just a tripwire against accidental quadratic behaviour.
+    assert enabled < disabled * 25.0

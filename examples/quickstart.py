@@ -8,18 +8,38 @@ transactions/second — on an EL log of two generations (18 + 16 blocks of
 bandwidth, main-memory use, and flush behaviour.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --observe results/   # + trace & manifest
 """
+
+import sys
+from pathlib import Path
 
 from repro import SimulationConfig, run_simulation
 
 
 def main() -> None:
+    observe_dir = None
+    if "--observe" in sys.argv:
+        index = sys.argv.index("--observe")
+        observe_dir = Path(
+            sys.argv[index + 1] if len(sys.argv) > index + 1 else "results"
+        )
+
     config = SimulationConfig.ephemeral(
         generation_sizes=(18, 16),
         recirculation=True,
         long_fraction=0.05,  # fraction of 10-second transactions
         runtime=60.0,        # simulated seconds (the paper uses 500)
     )
+    if observe_dir is not None:
+        from repro.obs import ObsConfig
+
+        config = config.replace(
+            obs=ObsConfig.full(
+                jsonl_path=str(observe_dir / "quickstart.jsonl"),
+                manifest_path=str(observe_dir / "quickstart.manifest.json"),
+            )
+        )
     result = run_simulation(config)
 
     print("Ephemeral logging — quickstart")
@@ -45,6 +65,11 @@ def main() -> None:
     assert result.no_kills, "18+16 blocks comfortably hold this workload"
     print("\nNo transaction was killed: 34 blocks suffice where firewall "
           "logging needs ~123.")
+    if observe_dir is not None:
+        print(f"\nTrace written to {observe_dir / 'quickstart.jsonl'}; "
+              f"summarise it with:\n  repro report "
+              f"{observe_dir / 'quickstart.jsonl'} "
+              f"{observe_dir / 'quickstart.manifest.json'}")
 
 
 if __name__ == "__main__":

@@ -5,6 +5,8 @@ Examples::
     repro run --technique el --sizes 18,16 --no-recirculation --runtime 120
     repro search --technique fw --mix 0.05 --runtime 120
     repro figure 4            # also 5, 6, 7, scarce, headline
+    repro trace --runtime 60 --out results/
+    repro report results/trace-el-seed0.jsonl
     repro recover --crash-at 40 --runtime 60
     repro cache clear
 """
@@ -12,7 +14,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.harness.config import SimulationConfig, Technique
@@ -27,9 +31,33 @@ from repro.harness.search import SpaceSearch
 from repro.harness.simulator import Simulation, run_simulation
 from repro.harness.sweep import SweepCache
 from repro.core.sizing import recommend_generation_sizes
+from repro.errors import ConfigurationError
+from repro.metrics.report import (
+    format_manifest,
+    format_trace_summary,
+)
+from repro.obs import ObsConfig, read_jsonl, summarise_events
+from repro.obs.events import event_time_span
+from repro.obs.manifest import RunManifest
 from repro.recovery.single_pass import SinglePassRecovery
 from repro.recovery.verify import RecoveryVerifier
 from repro.workload.spec import paper_mix
+
+
+def _version() -> str:
+    """The installed distribution version, falling back to the package's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - 3.10+ always has it
+        pass
+    import repro
+
+    return repro.__version__
 
 
 def _parse_sizes(text: str) -> tuple[int, ...]:
@@ -118,25 +146,107 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = Scale.from_env()
     cache = SweepCache(enabled=not args.no_cache)
+    manifest_dir = args.manifest_dir
     which = args.which
     if which in ("4", "5", "6"):
-        result = run_figures_4_5_6(scale, seed=args.seed, cache=cache)
+        result = run_figures_4_5_6(
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+        )
         text = {
             "4": result.figure4_text,
             "5": result.figure5_text,
             "6": result.figure6_text,
         }[which]()
     elif which == "7":
-        text = run_figure_7(scale, seed=args.seed, cache=cache).figure7_text()
+        text = run_figure_7(
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+        ).figure7_text()
     elif which == "scarce":
-        text = run_scarce_flush(scale, seed=args.seed, cache=cache).text()
+        text = run_scarce_flush(
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+        ).text()
     elif which == "headline":
-        text = headline_claims(scale, seed=args.seed, cache=cache).text()
+        text = headline_claims(
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+        ).text()
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(which)
     print(f"[scale: {scale.label}]")
     print(text)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one observed simulation: JSONL trace + manifest + summary."""
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"trace-{args.technique}-seed{args.seed}"
+    jsonl_path = out_dir / f"{stem}.jsonl"
+    manifest_path = out_dir / f"{stem}.manifest.json"
+    config = _base_config(args).replace(
+        obs=ObsConfig.full(
+            jsonl_path=str(jsonl_path),
+            manifest_path=str(manifest_path),
+            strict_schema=args.strict_schema,
+        )
+    )
+    simulation = Simulation(config)
+    result = simulation.run()
+    events = list(simulation.obs.trace)
+    print(format_trace_summary(summarise_events(events)))
+    if events:
+        span = event_time_span(events)
+        print(f"time span      : t={span[0]:g}s .. t={span[1]:g}s")
+    print(f"trace written  : {jsonl_path}")
+    print(f"manifest       : {manifest_path}")
+    print(
+        f"transactions   : {result.transactions_begun} begun, "
+        f"{result.transactions_committed} committed, "
+        f"{result.transactions_killed} killed"
+    )
+    if result.failed:
+        print(f"FAILED         : {result.failed}")
+    return 0 if result.failed is None else 1
+
+
+def _looks_like_manifest(path: Path) -> bool:
+    if path.suffix == ".jsonl":
+        return False
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return isinstance(data, dict) and "schema_version" in data
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Summarise previously exported traces and manifests."""
+    status = 0
+    for index, name in enumerate(args.paths):
+        path = Path(name)
+        if index:
+            print()
+        if not path.is_file():
+            print(f"{path}: not a file", file=sys.stderr)
+            status = 1
+            continue
+        try:
+            if _looks_like_manifest(path):
+                print(format_manifest(RunManifest.load(path).to_dict()))
+                continue
+            events = read_jsonl(path)
+        except ConfigurationError as exc:
+            print(f"{exc}", file=sys.stderr)
+            status = 1
+            continue
+        if not events:
+            print(f"{path}: no events")
+            continue
+        print(format_trace_summary(summarise_events(events), title=str(path)))
+        span = event_time_span(events)
+        print(f"time span: t={span[0]:g}s .. t={span[1]:g}s")
+    return status
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -218,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(Keen & Dally, SIGMOD 1993)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one simulation")
@@ -234,7 +347,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure_parser.add_argument("--seed", type=int, default=0)
     figure_parser.add_argument("--no-cache", action="store_true")
+    figure_parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="also write a reproducibility manifest into this directory",
+    )
     figure_parser.set_defaults(func=_cmd_figure)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one simulation with full observability"
+    )
+    _add_run_options(trace_parser)
+    trace_parser.add_argument(
+        "--out", default="results", help="directory for the JSONL trace + manifest"
+    )
+    trace_parser.add_argument(
+        "--strict-schema",
+        action="store_true",
+        help="fail on trace events missing from the schema registry",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    report_parser = sub.add_parser(
+        "report", help="summarise exported traces and run manifests"
+    )
+    report_parser.add_argument(
+        "paths", nargs="+", help="JSONL trace and/or manifest JSON files"
+    )
+    report_parser.set_defaults(func=_cmd_report)
 
     recover_parser = sub.add_parser("recover", help="crash + recovery demo")
     _add_run_options(recover_parser)

@@ -40,6 +40,7 @@ from repro.db.database import StableDatabase
 from repro.disk.block import BlockImage
 from repro.disk.partition import RangePartitioner
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.base import LogRecord, next_lsn_factory
 from repro.records.data import DataLogRecord
 from repro.records.tx import AbortRecord, BeginRecord, CommitRecord
@@ -49,6 +50,9 @@ from repro.sim.trace import NULL_TRACE, TraceLog
 
 class EphemeralLogManager(LogManager):
     """The ephemeral logging manager (EL)."""
+
+    #: Trace/metric namespace; the firewall subclass overrides it to "fw".
+    trace_source = "el"
 
     def __init__(
         self,
@@ -68,6 +72,7 @@ class EphemeralLogManager(LogManager):
         placement: Optional[LifetimePlacementPolicy] = None,
         memory_model: Optional[MemoryModel] = None,
         trace: TraceLog = NULL_TRACE,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         sizes = list(generation_sizes)
         if not sizes:
@@ -86,6 +91,17 @@ class EphemeralLogManager(LogManager):
         self.placement = placement
         self.memory_model = memory_model or MemoryModel.ephemeral()
         self.trace = trace
+        self.metrics = metrics
+        source = self.trace_source
+        self._m_forwarded = metrics.counter(f"{source}.forwarded")
+        self._m_recirculated = metrics.counter(f"{source}.recirculated")
+        self._m_demand_flushes = metrics.counter(f"{source}.demand_flushes")
+        self._m_kills = metrics.counter(f"{source}.kills")
+        self._m_garbage = metrics.counter(f"{source}.garbage_discarded")
+        self._m_gap_episodes = metrics.counter(f"{source}.gap_episodes")
+        self._m_gap_blocks = metrics.histogram(
+            f"{source}.gap_blocks_processed", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
 
         self._next_lsn = next_lsn_factory()
         self.lot = LoggedObjectTable()
@@ -99,6 +115,8 @@ class EphemeralLogManager(LogManager):
                 buffer_count=buffer_count,
                 write_seconds=log_write_seconds,
                 on_block_durable=self._handle_block_durable,
+                trace=trace,
+                metrics=metrics,
             )
             for index, size in enumerate(sizes)
         ]
@@ -113,6 +131,8 @@ class EphemeralLogManager(LogManager):
             flush_drives,
             flush_write_seconds,
             self._handle_flush_complete,
+            trace=trace,
+            metrics=metrics,
         )
 
         # COMMIT LSN -> (tid, ack callback) awaiting group-commit durability.
@@ -226,6 +246,29 @@ class EphemeralLogManager(LogManager):
     def blocks_written_by_generation(self) -> List[int]:
         return [g.blocks_written for g in self.generations]
 
+    def counters_snapshot(self) -> Dict[str, object]:
+        """All manager-level counters as one JSON-ready dict (for manifests)."""
+        return {
+            "fresh_records": self.fresh_records,
+            "forwarded_records": self.forwarded_records,
+            "recirculated_records": self.recirculated_records,
+            "emergency_recirculations": self.emergency_recirculations,
+            "garbage_copies_discarded": self.garbage_copies_discarded,
+            "begun": self.begun_count,
+            "committed": self.committed_count,
+            "aborted": self.aborted_count,
+            "kills": self.kill_count,
+            "pressure_episodes": self.pressure_episodes,
+            "forced_migration_seals": self.forced_migration_seals,
+            "blocks_written_by_generation": self.blocks_written_by_generation(),
+            "bytes_written_by_generation": [
+                g.bytes_written for g in self.generations
+            ],
+            "buffer_peak_in_use": [g.pool.peak_in_use for g in self.generations],
+            "buffer_overdrafts": [g.pool.overdrafts for g in self.generations],
+            "flush": self.scheduler.counters_snapshot(),
+        }
+
     def drain(self) -> None:
         """Seal every open buffer (used before crash points and at shutdown)."""
         for generation in self.generations:
@@ -298,6 +341,13 @@ class EphemeralLogManager(LogManager):
                     # resorting to kills.
                     self._pressure[gen_index] = True
                     self.pressure_episodes += 1
+                    if self.trace.enabled:
+                        self.trace.emit(
+                            self.sim.now,
+                            self.trace_source,
+                            "pressure",
+                            {"generation": gen_index},
+                        )
                 elif processed >= 2 * pressure_threshold:
                     victim = self.kill_policy.choose_victim(self.ltt, None)
                     self._kill(victim, reason="recirculation-livelock")
@@ -307,6 +357,20 @@ class EphemeralLogManager(LogManager):
                 and self.forwarded_records > forwarded_before
             ):
                 self._gather_and_seal_forwarded(gen_index)
+            if processed:
+                self._m_gap_episodes.inc()
+                self._m_gap_blocks.observe(processed)
+                if self.trace.enabled:
+                    self.trace.emit(
+                        self.sim.now,
+                        self.trace_source,
+                        "gap_ensure",
+                        {
+                            "generation": gen_index,
+                            "blocks_processed": processed,
+                            "forwarded": self.forwarded_records - forwarded_before,
+                        },
+                    )
         finally:
             self._pressure[gen_index] = False
             self._advancing[gen_index] = False
@@ -344,8 +408,17 @@ class EphemeralLogManager(LogManager):
             candidates.append(cell)
             free_bytes -= record.size
         for cell in candidates:
-            self._migrate(cell.record, gen_index, target)
+            record = cell.record
+            self._migrate(record, gen_index, target)
             self.forwarded_records += 1
+            self._m_forwarded.inc()
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now,
+                    self.trace_source,
+                    "forward",
+                    {"lsn": record.lsn, "from": gen_index, "gathered": True},
+                )
         if target.seal_migration():
             self._clear_migration_sources(target.index)
 
@@ -369,11 +442,13 @@ class EphemeralLogManager(LogManager):
     def _route_head_records(self, gen_index: int, image: BlockImage) -> None:
         """Apply the three possible fates to each record copy at the head."""
         last = len(self.generations) - 1
+        traced = self.trace.enabled
         for record in image.records:
             cell = record.cell
             if cell is None or cell.address != image.address:
                 # Garbage, or a stale copy of a record that moved on.
                 self.garbage_copies_discarded += 1
+                self._m_garbage.inc()
                 continue
             entry = self.ltt.get(record.tid)
             if entry is None:
@@ -387,6 +462,18 @@ class EphemeralLogManager(LogManager):
                     or self._pressure[gen_index]
                 )
                 if must_flush:
+                    self._m_demand_flushes.inc()
+                    if traced:
+                        self.trace.emit(
+                            self.sim.now,
+                            self.trace_source,
+                            "demand_flush",
+                            {
+                                "lsn": record.lsn,
+                                "oid": record.oid,
+                                "generation": gen_index,
+                            },
+                        )
                     self.scheduler.demand_flush(record)
                     continue
             elif record.kind.is_tx and entry.status is TxStatus.COMMITTED:
@@ -398,9 +485,25 @@ class EphemeralLogManager(LogManager):
             if gen_index < last:
                 self._migrate(record, gen_index, self.generations[gen_index + 1])
                 self.forwarded_records += 1
+                self._m_forwarded.inc()
+                if traced:
+                    self.trace.emit(
+                        self.sim.now,
+                        self.trace_source,
+                        "forward",
+                        {"lsn": record.lsn, "from": gen_index, "gathered": False},
+                    )
             elif self.recirculation:
                 self._migrate(record, gen_index, self.generations[gen_index])
                 self.recirculated_records += 1
+                self._m_recirculated.inc()
+                if traced:
+                    self.trace.emit(
+                        self.sim.now,
+                        self.trace_source,
+                        "recirculate",
+                        {"lsn": record.lsn, "generation": gen_index},
+                    )
             elif entry.status is TxStatus.COMMIT_PENDING:
                 # The COMMIT record is already on its way to disk, so the
                 # transaction can be neither killed (recovery might redo
@@ -408,6 +511,13 @@ class EphemeralLogManager(LogManager):
                 # its records moving for the short group-commit window.
                 self._migrate(record, gen_index, self.generations[gen_index])
                 self.emergency_recirculations += 1
+                if traced:
+                    self.trace.emit(
+                        self.sim.now,
+                        self.trace_source,
+                        "emergency_recirculate",
+                        {"lsn": record.lsn, "generation": gen_index},
+                    )
             else:
                 # An active transaction's record reached the head of the
                 # last generation with nowhere to go: kill until it is
@@ -519,6 +629,14 @@ class EphemeralLogManager(LogManager):
             assert lot_entry is not None and lot_entry.committed_cell is not None
             record = lot_entry.committed_cell.record
             assert isinstance(record, DataLogRecord)
+            self._m_demand_flushes.inc()
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now,
+                    self.trace_source,
+                    "demand_flush",
+                    {"lsn": record.lsn, "oid": record.oid, "settling": entry.tid},
+                )
             self.scheduler.demand_flush(record)
 
     def _kill(self, tid: int, reason: str) -> None:
@@ -532,7 +650,10 @@ class EphemeralLogManager(LogManager):
         self._discard_transaction(entry)
         self.kill_count += 1
         self.killed_tids.append(tid)
-        self.trace.emit(self.sim.now, "lm", "kill", {"tid": tid, "reason": reason})
+        self._m_kills.inc()
+        self.trace.emit(
+            self.sim.now, self.trace_source, "kill", {"tid": tid, "reason": reason}
+        )
         if self.on_kill is not None:
             self.on_kill(tid, self.sim.now)
 

@@ -32,6 +32,10 @@ from repro.sim.trace import NULL_TRACE, TraceLog
 class FirewallLogManager(EphemeralLogManager):
     """Single-queue firewall logging with kill-on-full semantics."""
 
+    #: FW events/metrics live in their own namespace even though the
+    #: machinery is shared, so EL/FW traces are directly comparable.
+    trace_source = "fw"
+
     def __init__(
         self,
         sim: Simulator,
@@ -59,6 +63,7 @@ class FirewallLogManager(EphemeralLogManager):
             trace=trace,
             **kwargs,
         )
+        self._m_blocks_reclaimed = self.metrics.counter("fw.blocks_reclaimed")
 
     @property
     def log(self):
@@ -82,6 +87,22 @@ class FirewallLogManager(EphemeralLogManager):
         if distance is None:
             return self.log.array.used
         return distance
+
+    def _advance_head_once(self, gen_index: int) -> bool:
+        advanced = super()._advance_head_once(gen_index)
+        if advanced:
+            self._m_blocks_reclaimed.inc()
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now,
+                    "fw",
+                    "space_reclaim",
+                    {
+                        "free_blocks": self.log.array.free,
+                        "reclaimable": self.reclaimable_blocks(),
+                    },
+                )
+        return advanced
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -23,8 +23,16 @@ from repro.db.objects import ObjectVersion
 from repro.disk.drive import DiskDrive
 from repro.disk.partition import RangePartitioner
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.data import DataLogRecord
 from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACE, TraceLog
+
+#: Oid-distance buckets for the flush-locality histogram (oid units).
+SEEK_DISTANCE_BUCKETS = (0, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+#: Simulated-seconds buckets for submit-to-install settle latency.
+SETTLE_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
 
 #: Fired after a flush write completes and the stable DB is updated.  The
 #: log manager uses it to garbage the record and clean the LOT/LTT.
@@ -98,6 +106,8 @@ class FlushScheduler:
         drive_count: int,
         write_seconds: float,
         on_flush_complete: FlushCompleteCallback,
+        trace: TraceLog = NULL_TRACE,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.sim = sim
         self.database = database
@@ -106,6 +116,25 @@ class FlushScheduler:
         self._pools = [_DrivePool() for _ in range(drive_count)]
         self._in_service: List[Optional[int]] = [None] * drive_count
         self._on_flush_complete = on_flush_complete
+        self.trace = trace
+        self.metrics = metrics
+        self._m_submitted = metrics.counter("flush.submitted")
+        self._m_completed = metrics.counter("flush.completed")
+        self._m_demand = metrics.counter("flush.demand")
+        self._m_depth = metrics.gauge("flush.depth")
+        self._m_seek = metrics.histogram(
+            "flush.seek_distance", buckets=SEEK_DISTANCE_BUCKETS
+        )
+        self._m_settle = metrics.histogram(
+            "flush.settle_seconds", buckets=SETTLE_BUCKETS
+        )
+        # Submit time per queued oid, kept only while metrics are on: it
+        # feeds the settle-latency histogram (submit -> installed).  The
+        # same flag gates derived values (like the backlog sum in the
+        # completion path) whose *computation* would otherwise cost even
+        # though a disabled gauge discards them.
+        self._measure_settle = metrics.enabled
+        self._submit_times: Dict[int, float] = {}
 
         self.submitted = 0
         self.superseded_in_pool = 0
@@ -121,11 +150,22 @@ class FlushScheduler:
         drive_index = self.partitioner.drive_of(record.oid)
         fresh = self._pools[drive_index].add_or_replace(record)
         self.submitted += 1
+        self._m_submitted.inc()
         if not fresh:
             self.superseded_in_pool += 1
         backlog = self.backlog()
         if backlog > self.peak_backlog:
             self.peak_backlog = backlog
+        self._m_depth.set(backlog)
+        if self._measure_settle:
+            self._submit_times.setdefault(record.oid, self.sim.now)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "flush",
+                "submit",
+                {"oid": record.oid, "drive": drive_index, "backlog": backlog},
+            )
         self._kick(drive_index)
 
     def cancel(self, oid: int) -> Optional[DataLogRecord]:
@@ -149,6 +189,16 @@ class FlushScheduler:
         drive.stats.record_write(0.0, seek)
         drive.position = record.oid
         self.demand_flushes += 1
+        self._m_demand.inc()
+        if seek is not None:
+            self._m_seek.observe(seek)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "flush",
+                "demand",
+                {"oid": record.oid, "drive": drive_index, "seek": seek},
+            )
         self._install(record)
         self._on_flush_complete(record)
 
@@ -174,6 +224,25 @@ class FlushScheduler:
         samples = sum(d.stats.seek_samples for d in self.drives)
         return total / samples if samples else 0.0
 
+    def counters_snapshot(self) -> dict:
+        """Scheduler-level counters as one JSON-ready dict (for manifests)."""
+        return {
+            "submitted": self.submitted,
+            "superseded_in_pool": self.superseded_in_pool,
+            "demand_flushes": self.demand_flushes,
+            "completed": self.completed,
+            "peak_backlog": self.peak_backlog,
+            "backlog": self.backlog(),
+            "mean_seek_distance": self.mean_seek_distance(),
+        }
+
+    def drive_report(self, elapsed_seconds: float) -> list[dict]:
+        """Per-drive utilisation and locality (the paper's drive-side view)."""
+        return [
+            dict(drive.stats.as_dict(), utilisation=drive.stats.utilisation(elapsed_seconds))
+            for drive in self.drives
+        ]
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -189,9 +258,22 @@ class FlushScheduler:
         self._in_service[drive_index] = oid
         seek = self._seek_distance(drive, oid)
 
+        if seek is not None:
+            self._m_seek.observe(seek)
+
         def _done() -> None:
             self._in_service[drive_index] = None
             self.completed += 1
+            self._m_completed.inc()
+            if self._measure_settle:
+                self._m_depth.set(self.backlog())
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now,
+                    "flush",
+                    "complete",
+                    {"oid": oid, "drive": drive_index, "seek": seek},
+                )
             self._install(record)
             self._on_flush_complete(record)
             self._kick(drive_index)
@@ -199,6 +281,10 @@ class FlushScheduler:
         drive.write(oid, _done, seek_distance=seek)
 
     def _install(self, record: DataLogRecord) -> None:
+        if self._measure_settle:
+            submitted = self._submit_times.pop(record.oid, None)
+            if submitted is not None:
+                self._m_settle.observe(self.sim.now - submitted)
         self.database.install(
             record.oid,
             ObjectVersion(record.value, record.timestamp, record.lsn),

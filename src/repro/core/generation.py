@@ -34,8 +34,13 @@ from repro.core.cells import CellList
 from repro.disk.block import BlockAddress, BlockImage
 from repro.disk.circular import CircularBlockArray
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.base import LogRecord
 from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACE, TraceLog
+
+#: Records-per-sealed-block buckets (the group-commit batch size).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 #: Callback type fired when a block's disk write completes.
 BlockDurableCallback = Callable[["Generation", BlockImage], None]
@@ -56,6 +61,8 @@ class Generation:
         buffer_count: int,
         write_seconds: float,
         on_block_durable: BlockDurableCallback,
+        trace: TraceLog = NULL_TRACE,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.sim = sim
         self.index = index
@@ -63,7 +70,16 @@ class Generation:
         self.write_seconds = write_seconds
         self.array = CircularBlockArray(capacity_blocks)
         self.cells = CellList(index)
-        self.pool = BufferPool(buffer_count)
+        self.pool = BufferPool(
+            buffer_count,
+            occupancy_gauge=metrics.gauge(f"pool.gen{index}.in_use"),
+        )
+        self.trace = trace
+        self._m_blocks_written = metrics.counter(f"log.gen{index}.blocks_written")
+        self._m_bytes_written = metrics.counter(f"log.gen{index}.bytes_written")
+        self._m_batch_records = metrics.histogram(
+            "log.block_records", buckets=BATCH_SIZE_BUCKETS
+        )
         self._on_block_durable = on_block_durable
         #: Hook the log manager installs to protect pending migration
         #: buffers whose source slots are about to be overwritten.
@@ -243,11 +259,33 @@ class Generation:
         self.blocks_written += 1
         self.bytes_written += image.payload_used
         self.writes_in_flight += 1
+        self._m_blocks_written.inc()
+        self._m_bytes_written.inc(image.payload_used)
+        self._m_batch_records.observe(len(image.records))
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "log",
+                "block_write",
+                {
+                    "generation": self.index,
+                    "slot": slot,
+                    "records": len(image.records),
+                    "bytes": image.payload_used,
+                },
+            )
 
         def _complete() -> None:
             self.writes_in_flight -= 1
             self.durable[slot] = image
             buffer.finish_write()
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now,
+                    "log",
+                    "block_durable",
+                    {"generation": self.index, "slot": slot},
+                )
             self._on_block_durable(self, image)
 
         self.sim.after(self.write_seconds, _complete)

@@ -46,6 +46,7 @@ from repro.db.database import StableDatabase
 from repro.disk.block import BlockImage
 from repro.disk.partition import RangePartitioner
 from repro.errors import ConfigurationError, LogFullError, SimulationError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.base import next_lsn_factory
 from repro.records.data import DataLogRecord
 from repro.records.tx import BeginRecord, CommitRecord
@@ -118,6 +119,7 @@ class HybridLogManager(LogManager):
         kill_policy: KillPolicy = KillPolicy.BLOCKING,
         memory_model: Optional[MemoryModel] = None,
         trace: TraceLog = NULL_TRACE,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         sizes = list(queue_sizes)
         if not sizes:
@@ -134,6 +136,9 @@ class HybridLogManager(LogManager):
             bytes_per_transaction=40, bytes_per_object=0
         )
         self.trace = trace
+        self.metrics = metrics
+        self._m_regenerated = metrics.counter("hybrid.regenerated")
+        self._m_kills = metrics.counter("hybrid.kills")
         self._next_lsn = next_lsn_factory()
 
         self.queues: List[Generation] = [
@@ -145,6 +150,8 @@ class HybridLogManager(LogManager):
                 buffer_count=buffer_count,
                 write_seconds=log_write_seconds,
                 on_block_durable=self._handle_block_durable,
+                trace=trace,
+                metrics=metrics,
             )
             for index, size in enumerate(sizes)
         ]
@@ -156,6 +163,8 @@ class HybridLogManager(LogManager):
             flush_drives,
             flush_write_seconds,
             self._handle_flush_complete,
+            trace=trace,
+            metrics=metrics,
         )
 
         self._entries: Dict[int, _HybridEntry] = {}
@@ -332,8 +341,21 @@ class HybridLogManager(LogManager):
             if first_slot is None:
                 first_slot = address.slot
             self.regenerated_records += 1
+            self._m_regenerated.inc()
             if reserved:
                 self._ensure_gap(target_index)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "hybrid",
+                "regenerate",
+                {
+                    "tid": entry.tid,
+                    "records": len(records),
+                    "from": source_index,
+                    "to": target_index,
+                },
+            )
         assert first_slot is not None
         self._anchor(entry, first_slot)
         return target_index
@@ -445,6 +467,8 @@ class HybridLogManager(LogManager):
         self._drop_entry(entry)
         self.kill_count += 1
         self.killed_tids.append(tid)
+        self._m_kills.inc()
+        self.trace.emit(self.sim.now, "hybrid", "kill", {"tid": tid})
         if self.on_kill is not None:
             self.on_kill(tid, self.sim.now)
 

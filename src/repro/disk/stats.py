@@ -35,10 +35,24 @@ class DriveStats:
         return self.seek_distance_total / self.seek_samples
 
     def utilisation(self, elapsed_seconds: float) -> float:
-        """Fraction of ``elapsed_seconds`` the drive spent servicing writes."""
+        """Fraction of ``elapsed_seconds`` the drive spent servicing writes.
+
+        Clamped to ``[0, 1]``; a non-positive window reports ``0.0`` (no
+        observable interval, not an error).
+        """
         if elapsed_seconds <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / elapsed_seconds)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of the raw counters (for run manifests)."""
+        return {
+            "writes": self.writes,
+            "busy_seconds": self.busy_seconds,
+            "seek_distance_total": self.seek_distance_total,
+            "seek_samples": self.seek_samples,
+            "mean_seek_distance": self.mean_seek_distance,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

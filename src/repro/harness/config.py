@@ -16,6 +16,7 @@ from repro import constants
 from repro.core.interface import UnflushedHeadPolicy
 from repro.core.killpolicy import KillPolicy
 from repro.errors import ConfigurationError
+from repro.obs import ObsConfig
 from repro.workload.spec import WorkloadMix, paper_mix
 
 
@@ -64,6 +65,9 @@ class SimulationConfig:
 
     sample_period: float = 0.5
     collect_truth: bool = False
+    #: Observability switches (tracing, metrics, JSONL export, manifest);
+    #: ``None`` means everything off — the zero-overhead default.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if not self.generation_sizes:
@@ -85,6 +89,30 @@ class SimulationConfig:
             raise ConfigurationError("arrival_rate must be positive")
         if self.sample_period <= 0:
             raise ConfigurationError("sample_period must be positive")
+
+    def to_json_dict(self) -> dict:
+        """JSON-ready dict of every field (the run-manifest config block)."""
+
+        def sanitise(value):
+            if isinstance(value, enum.Enum):
+                return value.value
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                return {
+                    key: sanitise(item)
+                    for key, item in dataclasses.asdict(value).items()
+                }
+            if isinstance(value, (list, tuple)):
+                return [sanitise(item) for item in value]
+            if isinstance(value, dict):
+                return {str(key): sanitise(item) for key, item in value.items()}
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            return repr(value)
+
+        return {
+            field.name: sanitise(getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        }
 
     def workload_mix(self) -> WorkloadMix:
         """The explicit mix, or the paper's two-type mix at ``long_fraction``."""

@@ -18,7 +18,8 @@ table and serialise to JSON for :class:`~repro.harness.sweep.SweepCache`.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.harness.config import SimulationConfig
 from repro.harness.scale import Scale
@@ -26,6 +27,40 @@ from repro.harness.search import SpaceSearch
 from repro.harness.simulator import run_simulation
 from repro.harness.sweep import SweepCache
 from repro.metrics.report import format_series
+from repro.obs.manifest import RunManifest, default_manifest_path, describe_code
+
+#: Accepted by every driver: where to drop the experiment's run manifest.
+ManifestDir = Optional[Union[str, Path]]
+
+
+def _publish_manifest(
+    name: str,
+    scale: Scale,
+    seed: int,
+    result,
+    manifest_dir: ManifestDir,
+) -> None:
+    """Write a reproducibility manifest for one experiment driver's outcome.
+
+    The full result document rides in the manifest's ``counters`` block, so
+    two sweeps (different seeds, code revisions, scales) can be diffed as
+    JSON without re-running anything.
+    """
+    if manifest_dir is None:
+        return
+    label = f"{name}-{scale.label}"
+    manifest = RunManifest(
+        label=label,
+        seed=seed,
+        config={
+            "experiment": name,
+            "scale": scale.label,
+            "runtime": scale.runtime,
+        },
+        code=describe_code(),
+        counters=result.to_dict() if hasattr(result, "to_dict") else asdict(result),
+    )
+    manifest.write(default_manifest_path(manifest_dir, label, seed))
 
 
 # ======================================================================
@@ -143,6 +178,7 @@ def run_figures_4_5_6(
     scale: Optional[Scale] = None,
     seed: int = 0,
     cache: Optional[SweepCache] = None,
+    manifest_dir: ManifestDir = None,
 ) -> Figures456Result:
     """Minimum-space sweep over the mix for both techniques (E1–E3)."""
     scale = scale or Scale.from_env()
@@ -150,7 +186,9 @@ def run_figures_4_5_6(
     key = f"fig456-{scale.label}-seed{seed}"
     cached = cache.get(key)
     if cached is not None:
-        return Figures456Result.from_dict(cached)
+        result = Figures456Result.from_dict(cached)
+        _publish_manifest("figures456", scale, seed, result, manifest_dir)
+        return result
 
     result = Figures456Result(scale_label=scale.label, runtime=scale.runtime, seed=seed)
     for fraction in scale.mix_points:
@@ -188,6 +226,7 @@ def run_figures_4_5_6(
             )
         )
     cache.put(key, result.to_dict())
+    _publish_manifest("figures456", scale, seed, result, manifest_dir)
     return result
 
 
@@ -272,6 +311,7 @@ def run_figure_7(
     long_fraction: float = 0.05,
     gen0_blocks: Optional[int] = None,
     gen1_start: Optional[int] = None,
+    manifest_dir: ManifestDir = None,
 ) -> Figure7Result:
     """Shrink the last generation with recirculation enabled (E4).
 
@@ -287,7 +327,9 @@ def run_figure_7(
         key += f"-g0{gen0_blocks}-g1{gen1_start}"
     cached = cache.get(key)
     if cached is not None:
-        return Figure7Result.from_dict(cached)
+        result = Figure7Result.from_dict(cached)
+        _publish_manifest("figure7", scale, seed, result, manifest_dir)
+        return result
 
     fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache)
     reference = min(
@@ -330,6 +372,7 @@ def run_figure_7(
             break  # one infeasible point past the minimum, as in the paper
         gen1 -= 1
     cache.put(key, result.to_dict())
+    _publish_manifest("figure7", scale, seed, result, manifest_dir)
     return result
 
 
@@ -388,6 +431,7 @@ def run_scarce_flush(
     seed: int = 0,
     cache: Optional[SweepCache] = None,
     long_fraction: float = 0.05,
+    manifest_dir: ManifestDir = None,
 ) -> ScarceFlushResult:
     """The 45 ms flush-transfer experiment (E5)."""
     scale = scale or Scale.from_env()
@@ -395,7 +439,9 @@ def run_scarce_flush(
     key = f"scarce3-{scale.label}-seed{seed}-mix{long_fraction}"
     cached = cache.get(key)
     if cached is not None:
-        return ScarceFlushResult.from_dict(cached)
+        result = ScarceFlushResult.from_dict(cached)
+        _publish_manifest("scarce-flush", scale, seed, result, manifest_dir)
+        return result
 
     template = SimulationConfig.ephemeral(
         (20, 11),
@@ -456,6 +502,7 @@ def run_scarce_flush(
         mean_seek_distance_baseline=baseline.flush_mean_seek_distance,
     )
     cache.put(key, result.to_dict())
+    _publish_manifest("scarce-flush", scale, seed, result, manifest_dir)
     return result
 
 
@@ -493,6 +540,7 @@ def headline_claims(
     scale: Optional[Scale] = None,
     seed: int = 0,
     cache: Optional[SweepCache] = None,
+    manifest_dir: ManifestDir = None,
 ) -> HeadlineClaims:
     """Recompute the abstract's claims from the figure sweeps (E6)."""
     scale = scale or Scale.from_env()
@@ -502,7 +550,7 @@ def headline_claims(
     base = min(fig456.points, key=lambda p: p.long_fraction)
     feasible = fig7.feasible_points
     best = min(feasible, key=lambda p: p.total_blocks)
-    return HeadlineClaims(
+    claims = HeadlineClaims(
         no_recirc_space_ratio=base.space_ratio,
         no_recirc_bandwidth_increase=base.bandwidth_increase,
         recirc_space_ratio=(
@@ -514,3 +562,5 @@ def headline_claims(
             else 0.0
         ),
     )
+    _publish_manifest("headline", scale, seed, claims, manifest_dir)
+    return claims

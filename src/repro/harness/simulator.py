@@ -22,6 +22,8 @@ from repro.errors import LogFullError
 from repro.harness.config import SimulationConfig, Technique
 from repro.harness.results import GenerationResult, SimulationResult
 from repro.metrics.series import PeriodicSampler
+from repro.obs import Observability
+from repro.obs.manifest import RunManifest
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRng
 from repro.workload.arrivals import PoissonArrivals
@@ -36,6 +38,8 @@ class Simulation:
         self.sim = Simulator()
         self.rng = SimRng(config.seed)
         self.database = StableDatabase(config.num_objects)
+        self.obs = Observability(config.obs)
+        self.manifest: Optional[RunManifest] = None
         self.manager = self._build_manager()
         self.generator = WorkloadGenerator(
             self.sim,
@@ -60,6 +64,12 @@ class Simulation:
         if hasattr(self.manager, "lot"):
             self.sampler.add_probe("lot_entries", lambda: len(self.manager.lot))
             self.sampler.add_probe("ltt_entries", lambda: len(self.manager.ltt))
+        if self.obs.metrics.enabled:
+            # Engine-side series the paper-style results never needed but
+            # perf work does: event-heap depth over time.
+            self.sampler.add_probe(
+                "heap_depth", lambda: float(self.sim.pending_events)
+            )
         self._started = False
 
     # ------------------------------------------------------------------
@@ -75,6 +85,8 @@ class Simulation:
             gap_blocks=config.gap_blocks,
             log_write_seconds=config.log_write_seconds,
             kill_policy=config.kill_policy,
+            trace=self.obs.trace,
+            metrics=self.obs.metrics,
         )
         if config.technique is Technique.FIREWALL:
             return FirewallLogManager(
@@ -106,6 +118,28 @@ class Simulation:
     def _flush_backlog(self) -> float:
         return float(self.manager.scheduler.backlog())
 
+    def _manager_counters(self, result: SimulationResult) -> dict:
+        """Manifest counter block: manager counters plus the drive view."""
+        manager = self.manager
+        if hasattr(manager, "counters_snapshot"):
+            counters = manager.counters_snapshot()
+        else:  # the hybrid manager keeps a reduced counter set
+            counters = {
+                "begun": getattr(manager, "begun_count", 0),
+                "committed": getattr(manager, "committed_count", 0),
+                "kills": getattr(manager, "kill_count", 0),
+                "regenerated_records": getattr(manager, "regenerated_records", 0),
+                "blocks_written_by_generation": [
+                    q.blocks_written for q in manager.queues
+                ],
+                "flush": manager.scheduler.counters_snapshot(),
+            }
+        elapsed = max(self.sim.now, 1e-9)
+        counters["drives"] = manager.scheduler.drive_report(elapsed)
+        counters["transactions_killed"] = result.transactions_killed
+        counters["events_executed"] = result.events_executed
+        return counters
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -118,8 +152,19 @@ class Simulation:
         self.sampler.start()
 
     def run(self) -> SimulationResult:
-        """Run the configured time span and collect the result."""
+        """Run the configured time span and collect the result.
+
+        When observability is configured this also closes any JSONL sink
+        and, if a manifest path is set, writes the run manifest
+        (:attr:`manifest` keeps the written document).
+        """
         self.start()
+        self.obs.trace.emit(
+            self.sim.now,
+            "run",
+            "begin",
+            {"technique": self.config.technique.value, "seed": self.config.seed},
+        )
         started_wall = time.perf_counter()
         failed: Optional[str] = None
         try:
@@ -130,7 +175,22 @@ class Simulation:
             failed = str(exc)
         wall = time.perf_counter() - started_wall
         self.generator.finish()
-        return self._collect(wall, failed)
+        result = self._collect(wall, failed)
+        self.obs.trace.emit(
+            self.sim.now,
+            "run",
+            "end",
+            {"failed": failed, "committed": result.transactions_committed},
+        )
+        self.manifest = self.obs.finalise(
+            label=self.config.technique.value,
+            seed=self.config.seed,
+            config=self.config.to_json_dict(),
+            sim=self.sim.snapshot(),
+            counters=self._manager_counters(result),
+            wall_seconds=wall,
+        )
+        return result
 
     def run_until(self, when: float) -> None:
         """Advance the simulation to an intermediate instant (crash studies)."""

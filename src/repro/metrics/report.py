@@ -7,7 +7,7 @@ the numbers, which carry the result, rather than the pixels.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 
 def _cell(value) -> str:
@@ -44,3 +44,87 @@ def format_series(
     """Render one figure-style series: a title plus an aligned table."""
     table = format_table([x_label, *y_labels], points)
     return f"{title}\n{table}"
+
+
+def format_trace_summary(
+    counts: Mapping[Tuple[str, str], int], title: str = "Trace events"
+) -> str:
+    """Render per-(source, kind) event counts, descending by count."""
+    rows = [
+        (source, kind, count)
+        for (source, kind), count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    total = sum(counts.values())
+    table = format_table(["source", "kind", "count"], rows)
+    return f"{title} ({total} total)\n{table}"
+
+
+def format_metrics(snapshot: Mapping[str, dict], title: str = "Metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as an aligned table.
+
+    Counters show their value; gauges value and peak; histograms count,
+    mean and max — enough to eyeball a run without opening the manifest.
+    """
+    rows = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type", "?")
+        if kind == "counter":
+            rows.append((name, kind, data["value"], ""))
+        elif kind == "gauge":
+            rows.append((name, kind, data["value"], f"peak={_cell(data['peak'])}"))
+        elif kind == "histogram":
+            detail = (
+                f"mean={_cell(data['mean'])} "
+                f"max={_cell(data['max']) if data['max'] is not None else '-'}"
+            )
+            rows.append((name, kind, data["count"], detail))
+        else:
+            rows.append((name, kind, "?", ""))
+    table = format_table(["metric", "type", "value", "detail"], rows)
+    return f"{title}\n{table}"
+
+
+def format_manifest(data: Dict) -> str:
+    """Render a run-manifest document as a readable text block."""
+    code = data.get("code", {})
+    trace = data.get("trace", {})
+    lines = [
+        f"Run manifest: {data.get('label', '?')} (seed {data.get('seed', '?')})",
+        f"  schema version : {data.get('schema_version', '?')}",
+        f"  code           : "
+        f"{code.get('git_describe') or code.get('package_version') or 'unknown'}"
+        f" (python {code.get('python', '?')})",
+        f"  wall time      : {data.get('wall_seconds', 0.0):.3f} s",
+    ]
+    sim = data.get("sim") or {}
+    if sim:
+        lines.append(
+            f"  sim            : t={sim.get('now', 0.0):g}s, "
+            f"{sim.get('events_executed', 0)} events executed"
+        )
+    if trace:
+        retained = trace.get("events_retained", 0)
+        written = trace.get("jsonl_events_written")
+        jsonl = f", {written} exported to {trace.get('jsonl_path')}" if written else ""
+        lines.append(f"  trace          : {retained} events retained{jsonl}")
+    counters = data.get("counters") or {}
+    scalar = {
+        key: value
+        for key, value in sorted(counters.items())
+        if isinstance(value, (int, float))
+    }
+    if scalar:
+        lines.append("  counters:")
+        for key, value in scalar.items():
+            lines.append(f"    {key:<28}: {_cell(value)}")
+    blocks = counters.get("blocks_written_by_generation")
+    if isinstance(blocks, list):
+        lines.append(f"    blocks_written_by_generation: {blocks}")
+    metrics = data.get("metrics") or {}
+    if metrics:
+        lines.append("")
+        lines.append(format_metrics(metrics))
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""The structured event pipeline: a schema'd trace stream with sinks.
+
+:class:`EventStream` upgrades :class:`~repro.sim.trace.TraceLog` — same
+``emit(time, source, kind, detail)`` call components already make, same
+near-zero cost when disabled — with
+
+* a **schema registry** of known ``source``/``kind`` pairs (see
+  :data:`EVENT_SCHEMA`), so traces are diffable between runs: a strict
+  stream rejects unregistered events instead of silently inventing new
+  namespaces;
+* **pluggable sinks**: every emitted event is also offered to each sink.
+  :class:`RingSink` keeps the latest N events in memory;
+  :class:`JsonlSink` appends one JSON object per line to a file, the
+  interchange format ``repro report`` re-parses.
+
+The in-memory keep-latest ring of the base class is retained, so an
+``EventStream`` is a drop-in ``TraceLog`` everywhere one is accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceEvent, TraceLog
+
+#: Known event namespaces: source -> set of kinds.  Components register
+#: their vocabulary here so ``repro report`` can flag schema drift and
+#: tests can assert coverage.
+EVENT_SCHEMA: Dict[str, set] = {
+    # Ephemeral log manager hot paths.
+    "el": {
+        "forward",
+        "recirculate",
+        "demand_flush",
+        "kill",
+        "gap_ensure",
+        "pressure",
+        "emergency_recirculate",
+    },
+    # Firewall-specific occurrences (FW shares the EL machinery).
+    "fw": {
+        "forward",
+        "recirculate",
+        "demand_flush",
+        "kill",
+        "gap_ensure",
+        "pressure",
+        "emergency_recirculate",
+        "space_reclaim",
+    },
+    # Hybrid manager.
+    "hybrid": {"kill", "regenerate"},
+    # Flush scheduler / database drives.
+    "flush": {"submit", "complete", "demand", "settle"},
+    # Log generations (block lifecycle).
+    "log": {"block_write", "block_durable"},
+    # Harness lifecycle markers.
+    "run": {"begin", "end"},
+}
+
+
+def register_event(source: str, kind: str) -> None:
+    """Extend the schema (extensions and tests add their vocabulary here)."""
+    EVENT_SCHEMA.setdefault(source, set()).add(kind)
+
+
+def is_known_event(source: str, kind: str) -> bool:
+    kinds = EVENT_SCHEMA.get(source)
+    return kinds is not None and kind in kinds
+
+
+class EventSink:
+    """Interface for trace-event consumers attached to an :class:`EventStream`."""
+
+    def accept(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; accepting after close is an error."""
+
+
+class RingSink(EventSink):
+    """Keeps the latest ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"ring sink needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def accept(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RingSink {len(self._events)}/{self.capacity} dropped={self.dropped}>"
+
+
+class JsonlSink(EventSink):
+    """Appends events to ``path`` as JSON Lines (one event per line).
+
+    The file is opened lazily on the first event and is flushed/closed by
+    :meth:`close`; a sink that never saw an event never creates the file.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle = None
+        self.events_written = 0
+        self.closed = False
+
+    def accept(self, event: TraceEvent) -> None:
+        if self.closed:
+            raise ConfigurationError(f"jsonl sink {self.path} is closed")
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JsonlSink {self.path} written={self.events_written}>"
+
+
+class EventStream(TraceLog):
+    """A :class:`TraceLog` that validates against the schema and feeds sinks."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+        sinks: Sequence[EventSink] = (),
+        strict: bool = False,
+    ):
+        super().__init__(enabled=enabled, capacity=capacity)
+        self.sinks: List[EventSink] = list(sinks)
+        self.strict = strict
+        #: (source, kind) pairs emitted that the schema does not know.
+        self.unknown_events = 0
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        self.sinks.append(sink)
+        return sink
+
+    def emit(self, time: float, source: str, kind: str, detail: Any = None) -> None:
+        if not self.enabled:
+            return
+        if not is_known_event(source, kind):
+            if self.strict:
+                raise ConfigurationError(
+                    f"unregistered trace event {source!r}/{kind!r}; add it to "
+                    f"repro.obs.events.EVENT_SCHEMA (register_event)"
+                )
+            self.unknown_events += 1
+        super().emit(time, source, kind, detail)
+        if self.sinks:
+            event = self._events[-1]
+            for sink in self.sinks:
+                sink.accept(event)
+
+    def close(self) -> None:
+        """Close every attached sink (idempotent per sink contract)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+# ----------------------------------------------------------------------
+# JSONL parsing and summarising (the ``repro report`` input side)
+# ----------------------------------------------------------------------
+def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Parse a JSONL trace file back into :class:`TraceEvent` objects."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                events.append(TraceEvent.from_dict(data))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: malformed trace line ({exc})"
+                ) from exc
+    return events
+
+
+def summarise_events(
+    events: Iterable[TraceEvent],
+) -> Dict[Tuple[str, str], int]:
+    """Event counts keyed by ``(source, kind)``, insertion-ordered."""
+    return dict(TallyCounter((e.source, e.kind) for e in events))
+
+
+def event_time_span(events: Sequence[TraceEvent]) -> Tuple[float, float]:
+    """(first, last) event time; ``(0.0, 0.0)`` for an empty trace."""
+    if not events:
+        return (0.0, 0.0)
+    return (events[0].time, events[-1].time)

@@ -1,0 +1,129 @@
+"""Per-run manifests: everything needed to reproduce and diff a run.
+
+A :class:`RunManifest` captures the run's configuration, RNG seed, the
+code state it executed (git describe / commit when available, package
+version always), wall-clock cost, the simulator's final state, and a final
+snapshot of every metric and trace counter.  Manifests are plain JSON so
+two runs can be compared with any diff tool, and ``repro report`` renders
+them back into tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Bumped when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def describe_code(root: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
+    """Best-effort description of the code state this run executed.
+
+    Uses ``git describe --always --dirty`` and the commit hash when the
+    source tree is a git checkout; always records the package version and
+    python version, so manifests written from an installed wheel are still
+    attributable.
+    """
+    try:
+        from repro import __version__
+    except Exception:  # pragma: no cover - circular-import guard
+        __version__ = "unknown"
+    info: Dict[str, Any] = {
+        "package_version": __version__,
+        "python": platform.python_version(),
+    }
+    cwd = str(root) if root is not None else str(Path(__file__).resolve().parent)
+    for key, command in (
+        ("git_describe", ["git", "describe", "--always", "--dirty"]),
+        ("git_commit", ["git", "rev-parse", "HEAD"]),
+    ):
+        try:
+            completed = subprocess.run(
+                command,
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=False,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if completed.returncode == 0:
+            info[key] = completed.stdout.strip()
+    return info
+
+
+@dataclass
+class RunManifest:
+    """A reproducibility record for one run (simulation or experiment)."""
+
+    label: str
+    seed: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    code: Dict[str, Any] = field(default_factory=dict)
+    sim: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    trace: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    created_unix: float = field(default_factory=time.time)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        payload = dict(data)
+        version = payload.get("schema_version", 0)
+        if version > MANIFEST_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"manifest schema v{version} is newer than supported "
+                f"v{MANIFEST_SCHEMA_VERSION}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"manifest has unknown fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialise to ``path`` as indented, key-sorted JSON."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        tmp.replace(target)
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RunManifest {self.label!r} seed={self.seed} "
+            f"metrics={len(self.metrics)}>"
+        )
+
+
+def default_manifest_path(
+    directory: Union[str, Path], label: str, seed: int
+) -> Path:
+    """Deterministic manifest location: ``<dir>/manifest-<label>-seed<seed>.json``."""
+    safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in label)
+    return Path(directory) / f"manifest-{safe}-seed{seed}.json"

@@ -1,0 +1,254 @@
+"""Named counters, gauges and histograms for simulation instrumentation.
+
+A :class:`MetricsRegistry` hands out metric objects by name.  Components
+fetch their metrics once at construction time and update them on the hot
+path; when the registry is disabled it hands out shared no-op singletons,
+so a disabled run pays one dynamic dispatch per update site and allocates
+nothing.  All times are *simulated* seconds — :class:`Timer` takes the
+clock as a callable (usually ``lambda: sim.now``) so instrumentation never
+couples to the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds — generic log-spaced edges that
+#: suit both latencies (seconds) and small cardinalities (records, blocks).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value with peak tracking."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "peak": self.peak}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value} peak={self.peak}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/total/min/max summary stats.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in an implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4f}>"
+
+
+class Timer:
+    """Context manager observing elapsed *simulated* time into a histogram.
+
+    ::
+
+        timer = registry.timer("flush.settle_seconds", clock=lambda: sim.now)
+        with timer:
+            ...  # advance the simulation
+    """
+
+    __slots__ = ("histogram", "clock", "_started")
+
+    def __init__(self, histogram: Histogram, clock: Callable[[], float]):
+        self.histogram = histogram
+        self.clock = clock
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = self.clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        started = self._started
+        self._started = None
+        if started is not None:
+            self.histogram.observe(self.clock() - started)
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+#: Shared no-op instances a disabled registry hands out.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+NULL_TIMER = _NullTimer(NULL_HISTOGRAM, lambda: 0.0)
+
+
+class MetricsRegistry:
+    """Creates and holds named metrics; disabled registries hand out no-ops.
+
+    Names are dot-namespaced (``"el.forwarded"``, ``"flush.depth"``,
+    ``"log.gen0.blocks_written"``).  Re-requesting a name returns the same
+    instance; requesting it as a different metric type raises.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, null, kind):
+        if not self.enabled:
+            return null
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), NULL_COUNTER, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), NULL_GAUGE, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, buckets), NULL_HISTOGRAM, Histogram)
+
+    def timer(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER
+        return Timer(self.histogram(name, buckets), clock)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All metrics as plain JSON-serialisable dicts, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state} metrics={len(self._metrics)}>"
+
+
+#: A shared disabled registry components can default to.
+NULL_METRICS = MetricsRegistry(enabled=False)

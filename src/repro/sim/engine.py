@@ -64,6 +64,21 @@ class Simulator:
             return None
         return self._heap[0].time
 
+    def snapshot(self) -> dict:
+        """Engine state as a JSON-ready dict (run manifests / diagnostics).
+
+        Computed on demand so the event loop itself carries no
+        instrumentation cost; heap depth is therefore the *current* depth,
+        sampled whenever the snapshot is taken (the periodic sampler can
+        turn it into a series).
+        """
+        return {
+            "now": self._now,
+            "events_executed": self._events_executed,
+            "heap_depth": len(self._heap),
+            "next_event_time": self._heap[0].time if self._heap else None,
+        }
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -3,11 +3,19 @@
 Components emit :class:`TraceEvent` tuples into a :class:`TraceLog` when one
 is configured.  Tracing is off by default (the hot path checks a single
 ``enabled`` flag), so paper-scale runs pay almost nothing for it.
+
+A bounded log is a *keep-latest* ring: at capacity the oldest event is
+evicted to make room, so the tail of a run — usually the interesting part —
+is always retained.  :attr:`TraceLog.dropped` counts evictions.
+
+The richer observability pipeline (pluggable sinks, JSONL export, schema
+registry) lives in :mod:`repro.obs.events` and subclasses this log.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, NamedTuple
+from collections import deque
+from typing import Any, Deque, Iterator, NamedTuple
 
 
 class TraceEvent(NamedTuple):
@@ -25,24 +33,51 @@ class TraceEvent(NamedTuple):
     kind: str
     detail: Any
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the JSONL line schema)."""
+        return {
+            "time": self.time,
+            "source": self.source,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            float(data["time"]),
+            str(data["source"]),
+            str(data["kind"]),
+            data.get("detail"),
+        )
+
 
 class TraceLog:
-    """An append-only in-memory trace with simple filtering helpers."""
+    """An in-memory trace with keep-latest capacity and filtering helpers."""
 
     def __init__(self, enabled: bool = True, capacity: int | None = None):
         self.enabled = enabled
         self._capacity = capacity
-        self._events: list[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
+    @property
+    def capacity(self) -> int | None:
+        """Maximum retained events, or ``None`` for unbounded."""
+        return self._capacity
+
     def emit(self, time: float, source: str, kind: str, detail: Any = None) -> None:
-        """Record one event (no-op while :attr:`enabled` is false)."""
+        """Record one event (no-op while :attr:`enabled` is false).
+
+        At capacity the *oldest* retained event is evicted so the log always
+        holds the latest events; :attr:`dropped` counts the evictions.
+        """
         if not self.enabled:
             return
-        if self._capacity is not None and len(self._events) >= self._capacity:
+        events = self._events
+        if self._capacity is not None and len(events) == self._capacity:
             self.dropped += 1
-            return
-        self._events.append(TraceEvent(time, source, kind, detail))
+        events.append(TraceEvent(time, source, kind, detail))
 
     def __len__(self) -> int:
         return len(self._events)
@@ -62,6 +97,10 @@ class TraceLog:
         """Drop all recorded events (the ``enabled`` flag is unchanged)."""
         self._events.clear()
         self.dropped = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<TraceLog {state} events={len(self._events)} dropped={self.dropped}>"
 
 
 #: A shared disabled trace instance components can default to.

@@ -121,3 +121,62 @@ class TestSearchCommand:
         output = capsys.readouterr().out
         assert code == 0
         assert "minimum sizes" in output
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_exports_and_summarises(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        code = main(
+            ["trace", "--sizes", "8,8", "--runtime", "10", "--out", str(out)]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert (out / "trace-el-seed0.jsonl").is_file()
+        assert (out / "trace-el-seed0.manifest.json").is_file()
+        assert "forward" in output
+        assert "Trace events" in output
+
+
+class TestReportCommand:
+    def test_report_renders_trace_and_manifest(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert (
+            main(["trace", "--sizes", "8,8", "--runtime", "10", "--out", str(out)])
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "report",
+                str(out / "trace-el-seed0.jsonl"),
+                str(out / "trace-el-seed0.manifest.json"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "time span" in output
+        assert "Run manifest: el (seed 0)" in output
+        assert "blocks_written_by_generation" in output
+
+    def test_report_missing_file_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+
+
+class TestFigureManifest:
+    def test_manifest_dir_writes_manifest(self, tmp_path, capsys):
+        out = tmp_path / "manifests"
+        assert main(["figure", "headline", "--manifest-dir", str(out)]) == 0
+        names = sorted(p.name for p in out.iterdir())
+        # headline pulls in the fig456 and fig7 sweeps; at least its own
+        # manifest must land.
+        assert any(n.startswith("manifest-headline-") for n in names)

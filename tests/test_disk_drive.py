@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.disk.drive import DiskDrive
+from repro.disk.stats import DriveStats
 from repro.errors import SimulationError
 
 
@@ -71,3 +72,44 @@ class TestDiskDrive:
         drive.write(0, chain)
         sim.run()
         assert completions == pytest.approx([0.01, 0.02, 0.03])
+
+
+class TestDriveStats:
+    def test_utilisation_clamped_above_one(self):
+        # More busy time than window (rounding, overlapping accounting)
+        # must report full utilisation, not >100 %.
+        stats = DriveStats()
+        stats.record_write(2.0, None)
+        assert stats.utilisation(1.0) == 1.0
+
+    def test_utilisation_non_positive_window_is_zero(self):
+        stats = DriveStats()
+        stats.record_write(0.5, None)
+        assert stats.utilisation(0.0) == 0.0
+        assert stats.utilisation(-1.0) == 0.0
+
+    def test_mean_seek_distance_zero_samples(self):
+        assert DriveStats().mean_seek_distance == 0.0
+
+    def test_none_seek_distance_not_counted(self):
+        # The first write to a drive has no predecessor; it must not drag
+        # the mean toward zero.
+        stats = DriveStats()
+        stats.record_write(0.01, None)
+        stats.record_write(0.01, 10)
+        stats.record_write(0.01, 20)
+        assert stats.writes == 3
+        assert stats.seek_samples == 2
+        assert stats.mean_seek_distance == pytest.approx(15.0)
+
+    def test_as_dict_round_trips_counters(self):
+        stats = DriveStats()
+        stats.record_write(0.02, 7)
+        data = stats.as_dict()
+        assert data == {
+            "writes": 1,
+            "busy_seconds": pytest.approx(0.02),
+            "seek_distance_total": 7,
+            "seek_samples": 1,
+            "mean_seek_distance": 7.0,
+        }

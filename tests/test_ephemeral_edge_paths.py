@@ -167,7 +167,7 @@ class TestTracing:
                 harness.commit(tid)
             if i % 4 == 3:
                 harness.settle(0.05)
-        kills = trace.select(source="lm", kind="kill")
+        kills = trace.select(source="el", kind="kill")
         assert kills, "the undersized log must have killed someone"
         assert any(event.detail["tid"] == victim for event in kills)
 

@@ -1,0 +1,133 @@
+"""Tests for the structured event pipeline: schema, sinks, JSONL export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EventStream,
+    JsonlSink,
+    RingSink,
+    event_time_span,
+    is_known_event,
+    read_jsonl,
+    register_event,
+    summarise_events,
+)
+from repro.sim.trace import TraceEvent, TraceLog
+
+
+class TestSchema:
+    def test_hot_path_kinds_are_registered(self):
+        for kind in ("forward", "recirculate", "demand_flush", "kill", "gap_ensure"):
+            assert is_known_event("el", kind)
+        assert is_known_event("fw", "space_reclaim")
+        assert is_known_event("log", "block_write")
+        assert is_known_event("run", "begin")
+
+    def test_register_event_extends_schema(self):
+        register_event("test_ns", "custom")
+        try:
+            assert is_known_event("test_ns", "custom")
+        finally:
+            EVENT_SCHEMA.pop("test_ns", None)
+
+    def test_unknown_events_counted_when_lenient(self):
+        stream = EventStream()
+        stream.emit(0.0, "nonsense", "whatever")
+        assert stream.unknown_events == 1
+        assert len(stream) == 1  # still recorded
+
+    def test_strict_stream_rejects_unknown_events(self):
+        stream = EventStream(strict=True)
+        with pytest.raises(ConfigurationError):
+            stream.emit(0.0, "nonsense", "whatever")
+        stream.emit(0.0, "el", "kill", {"tid": 1})  # known: fine
+
+
+class TestEventStream:
+    def test_is_a_drop_in_trace_log(self):
+        stream = EventStream()
+        assert isinstance(stream, TraceLog)
+        stream.emit(1.0, "el", "forward", {"lsn": 1})
+        assert len(stream.select(source="el", kind="forward")) == 1
+
+    def test_disabled_stream_feeds_no_sinks(self):
+        ring = RingSink(4)
+        stream = EventStream(enabled=False, sinks=[ring])
+        stream.emit(0.0, "el", "kill")
+        assert len(stream) == 0
+        assert len(ring) == 0
+
+    def test_events_fan_out_to_all_sinks(self):
+        a, b = RingSink(4), RingSink(4)
+        stream = EventStream(sinks=[a])
+        stream.add_sink(b)
+        stream.emit(1.0, "el", "forward")
+        assert len(a) == 1 and len(b) == 1
+
+
+class TestRingSink:
+    def test_keeps_latest(self):
+        ring = RingSink(2)
+        for i in range(4):
+            ring.accept(TraceEvent(float(i), "s", "k", None))
+        assert [e.time for e in ring.events()] == [2.0, 3.0]
+        assert ring.dropped == 2
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RingSink(0)
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        events = [
+            TraceEvent(0.5, "el", "forward", {"lsn": 1, "from": 0}),
+            TraceEvent(1.0, "el", "kill", {"tid": 7}),
+        ]
+        for event in events:
+            sink.accept(event)
+        sink.close()
+        assert sink.events_written == 2
+        assert read_jsonl(path) == events
+
+    def test_lazy_open_never_creates_empty_file(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        JsonlSink(path).close()
+        assert not path.exists()
+
+    def test_accept_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.accept(TraceEvent(0.0, "el", "kill", None))
+        sink.close()
+        with pytest.raises(ConfigurationError):
+            sink.accept(TraceEvent(1.0, "el", "kill", None))
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 0, "source": "a", "kind": "b"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            read_jsonl(path)
+
+
+class TestSummaries:
+    def test_summarise_events_counts_pairs(self):
+        events = [
+            TraceEvent(0.0, "el", "forward", None),
+            TraceEvent(1.0, "el", "forward", None),
+            TraceEvent(2.0, "el", "kill", None),
+        ]
+        assert summarise_events(events) == {
+            ("el", "forward"): 2,
+            ("el", "kill"): 1,
+        }
+
+    def test_event_time_span(self):
+        events = [TraceEvent(0.5, "a", "b", None), TraceEvent(9.0, "a", "b", None)]
+        assert event_time_span(events) == (0.5, 9.0)
+        assert event_time_span([]) == (0.0, 0.0)

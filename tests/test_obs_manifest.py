@@ -1,0 +1,78 @@
+"""Tests for run manifests and the code-state description."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    default_manifest_path,
+    describe_code,
+)
+
+
+class TestDescribeCode:
+    def test_always_records_package_and_python(self):
+        info = describe_code()
+        assert info["package_version"]
+        assert info["python"].count(".") == 2
+
+    def test_survives_non_git_directory(self, tmp_path):
+        info = describe_code(root=tmp_path)
+        assert "package_version" in info
+        assert "git_describe" not in info
+
+
+class TestRunManifest:
+    def _sample(self) -> RunManifest:
+        return RunManifest(
+            label="el",
+            seed=42,
+            config={"technique": "el", "generation_sizes": [18, 16]},
+            counters={"committed": 100},
+            metrics={"el.forwarded": {"type": "counter", "value": 5}},
+            wall_seconds=1.25,
+        )
+
+    def test_dict_round_trip(self):
+        manifest = self._sample()
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+
+    def test_write_and_load(self, tmp_path):
+        manifest = self._sample()
+        path = manifest.write(tmp_path / "deep" / "m.json")
+        assert path.is_file()
+        assert RunManifest.load(path) == manifest
+        # On-disk form is plain, diffable JSON with sorted keys.
+        text = path.read_text()
+        data = json.loads(text)
+        assert data["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert list(data) == sorted(data)
+
+    def test_newer_schema_rejected(self):
+        data = self._sample().to_dict()
+        data["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="newer"):
+            RunManifest.from_dict(data)
+
+    def test_unknown_fields_rejected(self):
+        data = self._sample().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="unknown"):
+            RunManifest.from_dict(data)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        self._sample().write(tmp_path / "m.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
+
+
+class TestDefaultManifestPath:
+    def test_deterministic_and_safe(self, tmp_path):
+        path = default_manifest_path(tmp_path, "fig 7/sweep", seed=3)
+        assert path.parent == tmp_path
+        assert path.name == "manifest-fig_7_sweep-seed3.json"

@@ -42,12 +42,32 @@ class TestTraceLog:
         trace.emit(3.0, "b", "k2")
         assert len(trace.select(source="a", kind="k2")) == 1
 
-    def test_capacity_drops_overflow(self):
+    def test_capacity_keeps_latest(self):
+        # A bounded log is a keep-latest ring: the tail of the run survives.
         trace = TraceLog(capacity=2)
         for i in range(5):
             trace.emit(float(i), "s", "k")
         assert len(trace) == 2
         assert trace.dropped == 3
+        assert [e.time for e in trace] == [3.0, 4.0]
+
+    def test_capacity_property(self):
+        assert TraceLog(capacity=7).capacity == 7
+        assert TraceLog().capacity is None
+
+    def test_unbounded_log_never_drops(self):
+        trace = TraceLog()
+        for i in range(1000):
+            trace.emit(float(i), "s", "k")
+        assert len(trace) == 1000
+        assert trace.dropped == 0
+        assert [e.time for e in trace][:2] == [0.0, 1.0]
+
+    def test_event_dict_round_trip(self):
+        from repro.sim.trace import TraceEvent
+
+        event = TraceEvent(1.5, "el", "forward", {"lsn": 9})
+        assert TraceEvent.from_dict(event.to_dict()) == event
 
     def test_clear(self):
         trace = TraceLog(capacity=1)
