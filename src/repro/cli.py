@@ -3,8 +3,8 @@
 Examples::
 
     repro run --technique el --sizes 18,16 --no-recirculation --runtime 120
-    repro search --technique fw --mix 0.05 --runtime 120
-    repro figure 4            # also 5, 6, 7, scarce, headline
+    repro search --technique fw --mix 0.05 --runtime 120 --jobs 4
+    repro figure 4 --jobs 4   # also 5, 6, 7, scarce, headline
     repro trace --runtime 60 --out results/
     repro report results/trace-el-seed0.jsonl
     repro recover --crash-at 40 --runtime 60
@@ -26,6 +26,7 @@ from repro.harness.experiments import (
     run_figures_4_5_6,
     run_scarce_flush,
 )
+from repro.harness.parallel import ParallelRunner, default_jobs
 from repro.harness.scale import Scale
 from repro.harness.search import SpaceSearch
 from repro.harness.simulator import Simulation, run_simulation
@@ -102,6 +103,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="worker processes for independent runs (default: $REPRO_JOBS or 1)",
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_simulation(_base_config(args))
     print(f"technique            : {result.technique}")
@@ -127,14 +137,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     config = _base_config(args)
-    search = SpaceSearch(config)
-    if config.technique is Technique.FIREWALL:
-        outcome = search.fw_minimum()
-    else:
-        scale = Scale.from_env()
-        outcome = search.el_minimum(
-            scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
-        )
+    with ParallelRunner(jobs=args.jobs) as runner:
+        search = SpaceSearch(config, parallel=runner)
+        if config.technique is Technique.FIREWALL:
+            outcome = search.fw_minimum()
+        else:
+            scale = Scale.from_env()
+            outcome = search.el_minimum(
+                scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
+            )
     print(f"minimum sizes        : {outcome.sizes} "
           f"({outcome.total_blocks} blocks total)")
     print(f"bandwidth at minimum : {outcome.result.total_bandwidth_wps:.2f} writes/s")
@@ -147,10 +158,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = Scale.from_env()
     cache = SweepCache(enabled=not args.no_cache)
     manifest_dir = args.manifest_dir
+    jobs = args.jobs
     which = args.which
     if which in ("4", "5", "6"):
         result = run_figures_4_5_6(
-            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir, jobs=jobs
         )
         text = {
             "4": result.figure4_text,
@@ -159,15 +171,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         }[which]()
     elif which == "7":
         text = run_figure_7(
-            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir, jobs=jobs
         ).figure7_text()
     elif which == "scarce":
         text = run_scarce_flush(
-            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir, jobs=jobs
         ).text()
     elif which == "headline":
         text = headline_claims(
-            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir
+            scale, seed=args.seed, cache=cache, manifest_dir=manifest_dir, jobs=jobs
         ).text()
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(which)
@@ -339,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     search_parser = sub.add_parser("search", help="minimum-space search")
     _add_run_options(search_parser)
+    _add_jobs_option(search_parser)
     search_parser.set_defaults(func=_cmd_search)
 
     figure_parser = sub.add_parser("figure", help="reproduce a paper artifact")
@@ -352,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write a reproducibility manifest into this directory",
     )
+    _add_jobs_option(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     trace_parser = sub.add_parser(

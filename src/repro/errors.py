@@ -53,3 +53,7 @@ class WorkloadError(ConfigurationError):
 
 class SearchError(ReproError):
     """A minimum-space search could not bracket a feasible configuration."""
+
+
+class ParallelExecutionError(ReproError):
+    """A worker run failed (or timed out) after exhausting its retries."""

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -114,6 +116,38 @@ class SimulationConfig:
             for field in dataclasses.fields(self)
         }
 
+    def fingerprint_payload(self) -> dict:
+        """The canonical dict the config fingerprint is computed from.
+
+        Contains every field that can change a simulation's outcome, and
+        *only* those whose value differs from the dataclass default.
+        Omitting default-valued fields keeps fingerprints stable when a new
+        defaulted knob is added later; changing an existing default changes
+        run semantics and must be accompanied by a
+        :data:`~repro.harness.sweep.CACHE_VERSION` bump.  ``obs`` is always
+        excluded: observability never alters simulated behaviour.
+        """
+        data = self.to_json_dict()
+        data.pop("obs", None)
+        defaults = _default_fingerprint_payload()
+        return {
+            key: value
+            for key, value in data.items()
+            if key not in defaults or defaults[key] != value
+        }
+
+    def fingerprint(self) -> str:
+        """Stable 16-hex-char digest of this configuration.
+
+        Two configs share a fingerprint iff a run of one is exchangeable
+        for a run of the other (same technique, sizes, workload, seed, ...).
+        Used to key the per-run sweep cache and to dedupe parallel batches.
+        """
+        blob = json.dumps(
+            self.fingerprint_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     def workload_mix(self) -> WorkloadMix:
         """The explicit mix, or the paper's two-type mix at ``long_fraction``."""
         if self.mix is not None:
@@ -153,3 +187,14 @@ class SimulationConfig:
             recirculation=recirculation,
             **kwargs,
         )
+
+
+_DEFAULT_PAYLOAD: Optional[dict] = None
+
+
+def _default_fingerprint_payload() -> dict:
+    """JSON view of an all-default config, computed once per process."""
+    global _DEFAULT_PAYLOAD
+    if _DEFAULT_PAYLOAD is None:
+        _DEFAULT_PAYLOAD = SimulationConfig().to_json_dict()
+    return _DEFAULT_PAYLOAD

@@ -17,17 +17,23 @@ table and serialise to JSON for :class:`~repro.harness.sweep.SweepCache`.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.harness.config import SimulationConfig
+from repro.harness.parallel import ParallelRunner
 from repro.harness.scale import Scale
 from repro.harness.search import SpaceSearch
-from repro.harness.simulator import run_simulation
 from repro.harness.sweep import SweepCache
 from repro.metrics.report import format_series
-from repro.obs.manifest import RunManifest, default_manifest_path, describe_code
+from repro.obs.manifest import (
+    RunManifest,
+    aggregate_worker_manifests,
+    default_manifest_path,
+    describe_code,
+)
 
 #: Accepted by every driver: where to drop the experiment's run manifest.
 ManifestDir = Optional[Union[str, Path]]
@@ -39,16 +45,30 @@ def _publish_manifest(
     seed: int,
     result,
     manifest_dir: ManifestDir,
+    runner: Optional[ParallelRunner] = None,
 ) -> None:
     """Write a reproducibility manifest for one experiment driver's outcome.
 
     The full result document rides in the manifest's ``counters`` block, so
     two sweeps (different seeds, code revisions, scales) can be diffed as
-    JSON without re-running anything.
+    JSON without re-running anything.  When the sweep executed through a
+    :class:`ParallelRunner`, its per-worker manifests are aggregated into a
+    ``parallel`` block so the manifest also attributes wall-clock cost.
     """
     if manifest_dir is None:
         return
     label = f"{name}-{scale.label}"
+    counters = result.to_dict() if hasattr(result, "to_dict") else asdict(result)
+    if runner is not None:
+        counters = dict(counters)
+        counters["parallel"] = {
+            "jobs": runner.jobs,
+            "runs_executed": runner.runs_executed,
+            "cache_hits": runner.cache_hits,
+            "timeouts": runner.timeouts,
+            "retries_used": runner.retries_used,
+            "workers": aggregate_worker_manifests(runner.worker_manifests),
+        }
     manifest = RunManifest(
         label=label,
         seed=seed,
@@ -58,7 +78,7 @@ def _publish_manifest(
             "runtime": scale.runtime,
         },
         code=describe_code(),
-        counters=result.to_dict() if hasattr(result, "to_dict") else asdict(result),
+        counters=counters,
     )
     manifest.write(default_manifest_path(manifest_dir, label, seed))
 
@@ -174,13 +194,57 @@ class Figures456Result:
         )
 
 
+def _figures_456_point(
+    scale: Scale, seed: int, fraction: float, runner: ParallelRunner
+) -> MixPoint:
+    """Both minimum-space searches for one transaction mix."""
+    fw_template = SimulationConfig.firewall(
+        log_blocks=64,  # replaced by the search
+        long_fraction=fraction,
+        runtime=scale.runtime,
+        seed=seed,
+    )
+    fw = SpaceSearch(fw_template, parallel=runner).fw_minimum()
+    el_template = SimulationConfig.ephemeral(
+        (18, 16),  # replaced by the search
+        recirculation=False,
+        long_fraction=fraction,
+        runtime=scale.runtime,
+        seed=seed,
+    )
+    el = SpaceSearch(el_template, parallel=runner).el_minimum(
+        scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
+    )
+    mix = fw_template.workload_mix()
+    return MixPoint(
+        long_fraction=fraction,
+        updates_per_second=(
+            fw_template.arrival_rate * mix.mean_updates_per_transaction()
+        ),
+        fw_blocks=fw.sizes[0],
+        fw_bandwidth_wps=fw.result.total_bandwidth_wps,
+        fw_memory_peak_bytes=fw.result.memory_peak_bytes,
+        el_gen0=el.sizes[0],
+        el_gen1=el.sizes[1],
+        el_bandwidth_wps=el.result.total_bandwidth_wps,
+        el_memory_peak_bytes=el.result.memory_peak_bytes,
+    )
+
+
 def run_figures_4_5_6(
     scale: Optional[Scale] = None,
     seed: int = 0,
     cache: Optional[SweepCache] = None,
     manifest_dir: ManifestDir = None,
+    jobs: int = 1,
 ) -> Figures456Result:
-    """Minimum-space sweep over the mix for both techniques (E1–E3)."""
+    """Minimum-space sweep over the mix for both techniques (E1–E3).
+
+    ``jobs`` > 1 runs the independent searches concurrently (one driver
+    thread per mix point, simulation probes fanned across a process pool)
+    and turns the searches speculative; the result is identical to a serial
+    sweep — the same seeds produce the same runs — only faster.
+    """
     scale = scale or Scale.from_env()
     cache = cache or SweepCache()
     key = f"fig456-{scale.label}-seed{seed}"
@@ -191,42 +255,27 @@ def run_figures_4_5_6(
         return result
 
     result = Figures456Result(scale_label=scale.label, runtime=scale.runtime, seed=seed)
-    for fraction in scale.mix_points:
-        fw_template = SimulationConfig.firewall(
-            log_blocks=64,  # replaced by the search
-            long_fraction=fraction,
-            runtime=scale.runtime,
-            seed=seed,
-        )
-        fw = SpaceSearch(fw_template).fw_minimum()
-        el_template = SimulationConfig.ephemeral(
-            (18, 16),  # replaced by the search
-            recirculation=False,
-            long_fraction=fraction,
-            runtime=scale.runtime,
-            seed=seed,
-        )
-        el = SpaceSearch(el_template).el_minimum(
-            scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
-        )
-        mix = fw_template.workload_mix()
-        result.points.append(
-            MixPoint(
-                long_fraction=fraction,
-                updates_per_second=(
-                    fw_template.arrival_rate * mix.mean_updates_per_transaction()
-                ),
-                fw_blocks=fw.sizes[0],
-                fw_bandwidth_wps=fw.result.total_bandwidth_wps,
-                fw_memory_peak_bytes=fw.result.memory_peak_bytes,
-                el_gen0=el.sizes[0],
-                el_gen1=el.sizes[1],
-                el_bandwidth_wps=el.result.total_bandwidth_wps,
-                el_memory_peak_bytes=el.result.memory_peak_bytes,
-            )
-        )
+    with ParallelRunner(jobs=jobs, cache=cache) as runner:
+        if runner.jobs > 1 and len(scale.mix_points) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(len(scale.mix_points), runner.jobs)
+            ) as pool:
+                points = list(
+                    pool.map(
+                        lambda fraction: _figures_456_point(
+                            scale, seed, fraction, runner
+                        ),
+                        scale.mix_points,
+                    )
+                )
+        else:
+            points = [
+                _figures_456_point(scale, seed, fraction, runner)
+                for fraction in scale.mix_points
+            ]
+    result.points.extend(points)
     cache.put(key, result.to_dict())
-    _publish_manifest("figures456", scale, seed, result, manifest_dir)
+    _publish_manifest("figures456", scale, seed, result, manifest_dir, runner=runner)
     return result
 
 
@@ -312,6 +361,7 @@ def run_figure_7(
     gen0_blocks: Optional[int] = None,
     gen1_start: Optional[int] = None,
     manifest_dir: ManifestDir = None,
+    jobs: int = 1,
 ) -> Figure7Result:
     """Shrink the last generation with recirculation enabled (E4).
 
@@ -331,7 +381,7 @@ def run_figure_7(
         _publish_manifest("figure7", scale, seed, result, manifest_dir)
         return result
 
-    fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache)
+    fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache, jobs=jobs)
     reference = min(
         fig456.points, key=lambda p: abs(p.long_fraction - long_fraction)
     )
@@ -346,33 +396,42 @@ def run_figure_7(
         fw_blocks=reference.fw_blocks,
         fw_bandwidth_wps=reference.fw_bandwidth_wps,
     )
-    gen1 = start_gen1
+
+    def configure(gen1: int) -> SimulationConfig:
+        return SimulationConfig.ephemeral(
+            (gen0, gen1),
+            recirculation=True,
+            long_fraction=long_fraction,
+            runtime=scale.runtime,
+            seed=seed,
+        )
+
     floor = 3  # gap + 1
-    while gen1 >= floor:
-        run = run_simulation(
-            SimulationConfig.ephemeral(
-                (gen0, gen1),
-                recirculation=True,
-                long_fraction=long_fraction,
-                runtime=scale.runtime,
-                seed=seed,
+    gen1_values = list(range(start_gen1, floor - 1, -1))
+    with ParallelRunner(jobs=jobs, cache=cache) as runner:
+        for index, gen1 in enumerate(gen1_values):
+            if runner.jobs > 1:
+                # Speculatively run the next few shrink steps as a batch;
+                # the walk below consumes them from the per-run cache.  At
+                # most jobs-1 probes past the stopping point are wasted.
+                runner.run_many(
+                    [configure(g) for g in gen1_values[index : index + runner.jobs]]
+                )
+            run = runner.run_one(configure(gen1))
+            result.points.append(
+                Figure7Point(
+                    gen1_blocks=gen1,
+                    total_blocks=gen0 + gen1,
+                    kills=run.transactions_killed,
+                    last_generation_wps=run.last_generation_bandwidth_wps,
+                    total_wps=run.total_bandwidth_wps,
+                    recirculated_records=run.recirculated_records,
+                )
             )
-        )
-        result.points.append(
-            Figure7Point(
-                gen1_blocks=gen1,
-                total_blocks=gen0 + gen1,
-                kills=run.transactions_killed,
-                last_generation_wps=run.last_generation_bandwidth_wps,
-                total_wps=run.total_bandwidth_wps,
-                recirculated_records=run.recirculated_records,
-            )
-        )
-        if not run.no_kills:
-            break  # one infeasible point past the minimum, as in the paper
-        gen1 -= 1
+            if not run.no_kills:
+                break  # one infeasible point past the minimum, as in the paper
     cache.put(key, result.to_dict())
-    _publish_manifest("figure7", scale, seed, result, manifest_dir)
+    _publish_manifest("figure7", scale, seed, result, manifest_dir, runner=runner)
     return result
 
 
@@ -432,6 +491,7 @@ def run_scarce_flush(
     cache: Optional[SweepCache] = None,
     long_fraction: float = 0.05,
     manifest_dir: ManifestDir = None,
+    jobs: int = 1,
 ) -> ScarceFlushResult:
     """The 45 ms flush-transfer experiment (E5)."""
     scale = scale or Scale.from_env()
@@ -460,34 +520,36 @@ def run_scarce_flush(
     # degenerate tiny-log/huge-recirculation regime the paper never
     # considers.
     reference = min(
-        run_figures_4_5_6(scale, seed=seed, cache=cache).points,
+        run_figures_4_5_6(scale, seed=seed, cache=cache, jobs=jobs).points,
         key=lambda p: abs(p.long_fraction - long_fraction),
     )
     bandwidth_cap = reference.el_bandwidth_wps * 1.25
-    search = SpaceSearch(
-        template,
-        feasible_fn=lambda result: (
-            result.no_kills
-            and result.demand_flushes == 0
-            and result.total_bandwidth_wps <= bandwidth_cap
-        ),
-    )
-    # A gen0 that blows the bandwidth cap does so at any gen1; don't let
-    # the bracket chase infeasibility into absurd sizes.
-    search.MAX_BLOCKS = 256
-    outcome = search.el_minimum(
-        scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
-    )
-    baseline = run_simulation(
-        SimulationConfig.ephemeral(
-            outcome.sizes,
-            recirculation=True,
-            long_fraction=long_fraction,
-            runtime=scale.runtime,
-            seed=seed,
-            flush_write_seconds=0.025,
+    with ParallelRunner(jobs=jobs, cache=cache) as runner:
+        search = SpaceSearch(
+            template,
+            feasible_fn=lambda result: (
+                result.no_kills
+                and result.demand_flushes == 0
+                and result.total_bandwidth_wps <= bandwidth_cap
+            ),
+            parallel=runner,
         )
-    )
+        # A gen0 that blows the bandwidth cap does so at any gen1; don't let
+        # the bracket chase infeasibility into absurd sizes.
+        search.MAX_BLOCKS = 256
+        outcome = search.el_minimum(
+            scale.gen0_candidates, refine_radius=scale.gen0_refine_radius
+        )
+        baseline = runner.run_one(
+            SimulationConfig.ephemeral(
+                outcome.sizes,
+                recirculation=True,
+                long_fraction=long_fraction,
+                runtime=scale.runtime,
+                seed=seed,
+                flush_write_seconds=0.025,
+            )
+        )
     result = ScarceFlushResult(
         scale_label=scale.label,
         runtime=scale.runtime,
@@ -502,7 +564,7 @@ def run_scarce_flush(
         mean_seek_distance_baseline=baseline.flush_mean_seek_distance,
     )
     cache.put(key, result.to_dict())
-    _publish_manifest("scarce-flush", scale, seed, result, manifest_dir)
+    _publish_manifest("scarce-flush", scale, seed, result, manifest_dir, runner=runner)
     return result
 
 
@@ -541,12 +603,13 @@ def headline_claims(
     seed: int = 0,
     cache: Optional[SweepCache] = None,
     manifest_dir: ManifestDir = None,
+    jobs: int = 1,
 ) -> HeadlineClaims:
     """Recompute the abstract's claims from the figure sweeps (E6)."""
     scale = scale or Scale.from_env()
     cache = cache or SweepCache()
-    fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache)
-    fig7 = run_figure_7(scale, seed=seed, cache=cache)
+    fig456 = run_figures_4_5_6(scale, seed=seed, cache=cache, jobs=jobs)
+    fig7 = run_figure_7(scale, seed=seed, cache=cache, jobs=jobs)
     base = min(fig456.points, key=lambda p: p.long_fraction)
     feasible = fig7.feasible_points
     best = min(feasible, key=lambda p: p.total_blocks)

@@ -10,12 +10,24 @@ the run) is treated as monotone in space: the FW search is a 1-D
 exponential bracket plus bisection; the EL search jointly minimises
 (gen0, gen1) by bisecting gen1 for each candidate gen0 and refining around
 the best candidate.
+
+With a :class:`~repro.harness.parallel.ParallelRunner` attached the search
+turns *speculative*: before an uncached probe it evaluates the probes the
+serial algorithm might need next (the rest of the exponential bracket, the
+next levels of the bisection tree) as one concurrent batch.  Speculation is
+strictly a prefetch — the decision sequence afterwards replays the serial
+algorithm against the probe cache — so the returned sizes and result are
+identical to a serial search; only wall-clock time (and possibly the run
+count) changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.harness.parallel import ParallelRunner
 
 from repro.errors import SearchError
 from repro.harness.config import SimulationConfig, Technique
@@ -24,6 +36,44 @@ from repro.harness.simulator import run_simulation
 
 #: Injection point so tests can stub the expensive runner.
 Runner = Callable[[SimulationConfig], SimulationResult]
+
+
+def _bracket_points(start: int, width: int, cap: int) -> List[int]:
+    """The next ``width`` sizes the exponential bracket would try."""
+    points: List[int] = []
+    n = start
+    while len(points) < width:
+        points.append(n)
+        if n >= cap:
+            break
+        n = min(max(n * 2, n + 1), cap)
+    return points
+
+
+def _bisection_frontier(lo: int, hi: int, width: int, floor: int) -> List[int]:
+    """Up to ``width`` midpoints from the top of the bisection tree.
+
+    Breadth-first over the interval tree rooted at ``(lo, hi)``: the
+    immediate midpoint first, then the midpoints of both possible child
+    intervals, and so on — exactly the probes the serial bisection can
+    reach within the next few rounds.  Sub-floor midpoints are decided
+    without simulation (the serial loop just raises ``lo``), so the
+    frontier descends through them for free.
+    """
+    points: List[int] = []
+    queue = [(lo, hi)]
+    while queue and len(points) < width:
+        left, right = queue.pop(0)
+        if right - left <= 1:
+            continue
+        mid = (left + right) // 2
+        if mid < floor:
+            queue.append((mid, right))
+            continue
+        points.append(mid)
+        queue.append((left, mid))
+        queue.append((mid, right))
+    return points
 
 
 @dataclass
@@ -52,14 +102,25 @@ class SpaceSearch:
         template: SimulationConfig,
         runner: Optional[Runner] = None,
         feasible_fn: Optional[Callable[[SimulationResult], bool]] = None,
+        parallel: Optional["ParallelRunner"] = None,
     ):
         """``feasible_fn`` overrides the acceptance criterion (default: the
         paper's zero-kills rule).  The scarce-flush experiment, for example,
         additionally rejects configurations that only survive by
-        demand-flushing at the head."""
+        demand-flushing at the head.
+
+        ``parallel`` attaches a :class:`~repro.harness.parallel.ParallelRunner`;
+        when its ``jobs`` exceed 1 the search prefetches speculative probe
+        batches through it (see the module docstring).  Unless ``runner`` is
+        also given, single probes then go through ``parallel.run_one`` too,
+        so they share its per-run result cache.
+        """
         self.template = template
-        self.runner: Runner = runner or run_simulation
+        if runner is None:
+            runner = parallel.run_one if parallel is not None else run_simulation
+        self.runner: Runner = runner
         self.feasible_fn = feasible_fn or (lambda result: result.no_kills)
+        self.parallel = parallel
         self.runs = 0
         self._cache: Dict[Tuple[int, ...], SimulationResult] = {}
         self.history: List[Tuple[Tuple[int, ...], bool]] = []
@@ -80,6 +141,34 @@ class SpaceSearch:
 
     def feasible(self, sizes: Tuple[int, ...]) -> bool:
         return self.feasible_fn(self.evaluate(sizes))
+
+    def _speculation_width(self) -> int:
+        """How many probes to evaluate concurrently (1 = no speculation)."""
+        if self.parallel is None:
+            return 1
+        return self.parallel.jobs
+
+    def prefetch(self, batch: List[Tuple[int, ...]]) -> None:
+        """Evaluate a speculative probe batch concurrently into the cache.
+
+        Probes already evaluated are skipped; with no parallel runner (or a
+        degenerate batch) this is a no-op and the serial path evaluates
+        probes on demand.
+        """
+        todo: List[Tuple[int, ...]] = []
+        for sizes in batch:
+            sizes = tuple(sizes)
+            if sizes not in self._cache and sizes not in todo:
+                todo.append(sizes)
+        if self.parallel is None or len(todo) <= 1:
+            return
+        results = self.parallel.run_many(
+            [self.template.with_sizes(sizes) for sizes in todo]
+        )
+        for sizes, result in zip(todo, results):
+            self._cache[sizes] = result
+            self.runs += 1
+            self.history.append((sizes, self.feasible_fn(result)))
 
     def estimate_fw_blocks(self) -> int:
         """Analytic starting point for the FW bracket.
@@ -109,22 +198,41 @@ class SpaceSearch:
     ) -> Tuple[int, SimulationResult]:
         """Smallest ``n`` with zero kills, for sizes built by ``make_sizes``."""
         floor = self._floor()
+        width = self._speculation_width()
         n = max(start, floor)
-        # Bracket upward until feasible.
-        while not self.feasible(make_sizes(n)):
+        # Bracket upward until feasible.  Speculation evaluates the next
+        # few doublings as one batch; the loop then consumes the cache.
+        while True:
+            if width > 1 and tuple(make_sizes(n)) not in self._cache:
+                self.prefetch(
+                    [
+                        make_sizes(point)
+                        for point in _bracket_points(n, width, self.MAX_BLOCKS)
+                    ]
+                )
+            if self.feasible(make_sizes(n)):
+                break
             if n >= self.MAX_BLOCKS:
                 raise SearchError(
                     f"no feasible size below {self.MAX_BLOCKS} blocks; "
                     f"the workload cannot be sustained by this configuration"
                 )
             n = min(max(n * 2, n + 1), self.MAX_BLOCKS)
-        # Bisect down to the smallest feasible value.
+        # Bisect down to the smallest feasible value.  Speculation runs the
+        # top of the remaining bisection tree as one batch per round.
         lo, hi = floor - 1, n  # lo is infeasible-or-floor, hi is feasible
         while hi - lo > 1:
             mid = (lo + hi) // 2
             if mid < floor:
                 lo = mid
                 continue
+            if width > 1 and tuple(make_sizes(mid)) not in self._cache:
+                self.prefetch(
+                    [
+                        make_sizes(point)
+                        for point in _bisection_frontier(lo, hi, width, floor)
+                    ]
+                )
             if self.feasible(make_sizes(mid)):
                 hi = mid
             else:
@@ -190,9 +298,13 @@ class SpaceSearch:
         return SearchOutcome(best, best_result, self.runs, list(self.history))
 
 
-def minimum_fw_blocks(template: SimulationConfig, runner: Optional[Runner] = None) -> SearchOutcome:
+def minimum_fw_blocks(
+    template: SimulationConfig,
+    runner: Optional[Runner] = None,
+    parallel: Optional["ParallelRunner"] = None,
+) -> SearchOutcome:
     """Convenience wrapper: minimum firewall log size for ``template``."""
-    return SpaceSearch(template, runner).fw_minimum()
+    return SpaceSearch(template, runner, parallel=parallel).fw_minimum()
 
 
 def minimum_el_sizes(
@@ -200,6 +312,9 @@ def minimum_el_sizes(
     gen0_candidates,
     refine_radius: int = 1,
     runner: Optional[Runner] = None,
+    parallel: Optional["ParallelRunner"] = None,
 ) -> SearchOutcome:
     """Convenience wrapper: joint EL (gen0, gen1) minimisation."""
-    return SpaceSearch(template, runner).el_minimum(gen0_candidates, refine_radius)
+    return SpaceSearch(template, runner, parallel=parallel).el_minimum(
+        gen0_candidates, refine_radius
+    )

@@ -9,13 +9,17 @@ version, so stale entries are never silently reused.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Callable, Optional
 
 #: Bump when result formats or simulation semantics change.
-CACHE_VERSION = 3
+#: v4: filenames carry a digest of the raw key (collision fix) and the
+#: per-run cache keys results by config fingerprint.
+CACHE_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -34,10 +38,16 @@ class SweepCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        #: Counter updates only; file operations are already atomic
+        #: (``os.replace``) so concurrent sweep threads can share one cache.
+        self._lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
+        # Sanitisation alone is lossy ("a:b" and "a_b" both become "a_b"),
+        # so the filename also carries a short digest of the raw key.
         safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in key)
-        return self.directory / f"v{CACHE_VERSION}-{safe}.json"
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:8]
+        return self.directory / f"v{CACHE_VERSION}-{safe[:96]}-{digest}.json"
 
     def get(self, key: str) -> Optional[dict]:
         if not self.enabled:
@@ -47,9 +57,11 @@ class SweepCache:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return document
 
     def put(self, key: str, document: dict) -> None:
@@ -57,7 +69,9 @@ class SweepCache:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
+        # Unique tmp name so concurrent writers of the same key never
+        # interleave; the final os.replace is atomic either way.
+        tmp = path.with_suffix(f".{os.getpid()}-{threading.get_ident()}.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)

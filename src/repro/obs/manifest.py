@@ -121,6 +121,39 @@ class RunManifest:
         )
 
 
+def aggregate_worker_manifests(worker_manifests) -> Dict[str, Any]:
+    """Fold per-worker run records into one parent-manifest block.
+
+    ``worker_manifests`` is an iterable of small dicts as produced by
+    :func:`repro.harness.parallel.execute_run` (pid, wall seconds, config
+    fingerprint, event count).  The aggregate keeps what a parent
+    experiment manifest needs to attribute cost: how many runs executed,
+    across how many worker processes, and where the wall-clock went —
+    without duplicating every child run's full manifest.
+    """
+    runs = 0
+    wall_total = 0.0
+    wall_max = 0.0
+    events = 0
+    runs_by_worker: Dict[str, int] = {}
+    for record in worker_manifests:
+        runs += 1
+        wall = float(record.get("wall_seconds", 0.0))
+        wall_total += wall
+        wall_max = max(wall_max, wall)
+        events += int(record.get("events_executed", 0))
+        pid = str(record.get("pid", "?"))
+        runs_by_worker[pid] = runs_by_worker.get(pid, 0) + 1
+    return {
+        "runs": runs,
+        "workers": len(runs_by_worker),
+        "runs_by_worker": runs_by_worker,
+        "wall_seconds_total": wall_total,
+        "wall_seconds_max": wall_max,
+        "events_executed": events,
+    }
+
+
 def default_manifest_path(
     directory: Union[str, Path], label: str, seed: int
 ) -> Path:

@@ -21,6 +21,10 @@ from typing import Any, Callable, Optional
 from repro.errors import SchedulingError
 from repro.sim.events import EventHandle
 
+#: Module-level binding: one global lookup instead of two attribute
+#: lookups on every schedule call.
+_heappush = heapq.heappush
+
 
 class Simulator:
     """A deterministic discrete-event scheduler.
@@ -95,14 +99,21 @@ class Simulator:
             )
         handle = EventHandle(time, self._seq, callback, args)
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        _heappush(self._heap, handle)
         return handle
 
     def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        # Inlined rather than delegating to :meth:`at`: this is the hottest
+        # scheduling call (one per executed event in steady state), and a
+        # non-negative delay cannot land in the past, so the extra frame
+        # and the past-time check would both be pure overhead.
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        return self.at(self._now + delay, callback, *args)
+        handle = EventHandle(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        _heappush(self._heap, handle)
+        return handle
 
     # ------------------------------------------------------------------
     # Execution
@@ -133,21 +144,31 @@ class Simulator:
         if self._running:
             raise SchedulingError("simulator is not reentrant")
         self._running = True
+        # This loop executes hundreds of events per simulated second over
+        # runs of hundreds of seconds: pop eagerly (pushing back the one
+        # event that overshoots the window, instead of a peek-compare-pop
+        # on every iteration), bind the heap functions once, and count
+        # executions locally — flushed in ``finally`` so the total stays
+        # right even when a callback raises (e.g. LogFullError).
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        cancelled_state = EventHandle._CANCELLED
         try:
-            heap = self._heap
             while heap:
-                handle = heap[0]
+                handle = pop(heap)
                 if handle.time > end_time:
+                    heapq.heappush(heap, handle)
                     break
-                heapq.heappop(heap)
-                if handle.cancelled:
+                if handle._state == cancelled_state:
                     continue
                 self._now = handle.time
-                handle._mark_fired()
-                self._events_executed += 1
+                handle._state = EventHandle._FIRED
+                executed += 1
                 handle.callback(*handle.args)
             self._now = end_time
         finally:
+            self._events_executed += executed
             self._running = False
 
     def run(self) -> None:
@@ -155,16 +176,21 @@ class Simulator:
         if self._running:
             raise SchedulingError("simulator is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        cancelled_state = EventHandle._CANCELLED
         try:
-            while self._heap:
-                handle = heapq.heappop(self._heap)
-                if handle.cancelled:
+            while heap:
+                handle = pop(heap)
+                if handle._state == cancelled_state:
                     continue
                 self._now = handle.time
-                handle._mark_fired()
-                self._events_executed += 1
+                handle._state = EventHandle._FIRED
+                executed += 1
                 handle.callback(*handle.args)
         finally:
+            self._events_executed += executed
             self._running = False
 
     # ------------------------------------------------------------------

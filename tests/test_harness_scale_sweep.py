@@ -82,6 +82,26 @@ class TestSweepCache:
         cache.put("a/b c:d", {"x": 1})
         assert cache.get("a/b c:d") == {"x": 1}
 
+    def test_sanitised_keys_do_not_collide(self, tmp_path):
+        # "a:b" and "a_b" sanitise to the same stem; the filename's raw-key
+        # digest must keep them distinct entries.
+        cache = SweepCache(tmp_path)
+        cache.put("a:b", {"v": "colon"})
+        cache.put("a_b", {"v": "underscore"})
+        assert cache.get("a:b") == {"v": "colon"}
+        assert cache.get("a_b") == {"v": "underscore"}
+        assert cache._path("a:b") != cache._path("a_b")
+
+    def test_very_long_keys_stay_distinct(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        long_a = "k" * 300 + "a"
+        long_b = "k" * 300 + "b"
+        cache.put(long_a, {"v": 1})
+        cache.put(long_b, {"v": 2})
+        assert cache.get(long_a) == {"v": 1}
+        assert cache.get(long_b) == {"v": 2}
+        assert len(cache._path(long_a).name) < 255  # filesystem limit
+
     def test_clear(self, tmp_path):
         cache = SweepCache(tmp_path)
         cache.put("k1", {})
