@@ -8,6 +8,7 @@ Examples::
     repro trace --runtime 60 --out results/
     repro report results/trace-el-seed0.jsonl
     repro recover --crash-at 40 --runtime 60
+    repro chaos --technique el --rate 0.1 --crashes 3 --runtime 60
     repro cache clear
 """
 
@@ -33,6 +34,8 @@ from repro.harness.simulator import Simulation, run_simulation
 from repro.harness.sweep import SweepCache
 from repro.core.sizing import recommend_generation_sizes
 from repro.errors import ConfigurationError
+from repro.faults.crash import run_crash_consistency
+from repro.faults.plan import FaultPlan
 from repro.metrics.report import (
     format_manifest,
     format_trace_summary,
@@ -283,6 +286,62 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if verdict.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injected run with crash-consistency verification."""
+    config = _base_config(args)
+    crash_times = tuple(
+        config.runtime * (index + 1) / (args.crashes + 1)
+        for index in range(args.crashes)
+    )
+    plan = FaultPlan(
+        transient_write_rate=args.rate,
+        torn_write_rate=args.rate / 2.0,
+        latent_error_rate=args.rate / 10.0,
+        flush_fault_rate=args.rate,
+        crash_times=crash_times,
+        max_retries=args.max_retries,
+    )
+    report = run_crash_consistency(config.replace(faults=plan))
+    result = report.result
+    assert result is not None
+    print(f"technique            : {report.technique} (seed {report.seed})")
+    print(f"fault rate           : {args.rate:g} "
+          f"(torn {args.rate/2:g}, latent {args.rate/10:g})")
+    for check in report.checks:
+        verdict = "OK" if check.report.ok else (
+            f"{len(check.report.lost_updates)} lost, "
+            f"{len(check.report.phantom_objects)} phantom"
+        )
+        print(f"crash at t={check.time:<8.2f}: {check.captured_blocks} blocks "
+              f"({check.report.unreadable_blocks} unreadable, "
+              f"{check.report.corrupt_blocks} torn), "
+              f"{check.records_applied} records applied -> {verdict}")
+    faults = result.faults or {}
+    print(f"transactions         : {result.transactions_committed} committed, "
+          f"{result.transactions_killed} killed, "
+          f"{result.transactions_unfinished} unfinished")
+    print(f"write faults         : {faults.get('write_faults', 0)} "
+          f"({faults.get('write_retries', 0)} retries, "
+          f"{faults.get('failed_writes', 0)} hard failures)")
+    print(f"self-healing         : {faults.get('blocks_retired', 0)} blocks "
+          f"remapped, {faults.get('records_healed', 0)} records healed, "
+          f"{faults.get('records_stabilised', 0)} stabilised")
+    print(f"deferred acks        : {faults.get('deferred_acks', 0)} "
+          f"({faults.get('outstanding_holds', 0)} holds outstanding)")
+    print(f"flush requeues       : {faults.get('flush_requeues', 0)}")
+    print(f"crash consistency    : "
+          f"{'OK' if report.ok else f'{report.violations} VIOLATIONS'}")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written       : {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     mix = paper_mix(args.mix)
     advice = recommend_generation_sizes(
@@ -394,6 +453,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(recover_parser)
     recover_parser.add_argument("--crash-at", type=float, default=40.0)
     recover_parser.set_defaults(func=_cmd_recover)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="fault-injected run + crash-consistency verification"
+    )
+    _add_run_options(chaos_parser)
+    chaos_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="transient write-fault rate; torn/latent/flush rates derive from it",
+    )
+    chaos_parser.add_argument(
+        "--crashes", type=int, default=3, help="evenly spaced crash checks"
+    )
+    chaos_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="write retry budget; 0 makes every fault a hard failure",
+    )
+    chaos_parser.add_argument(
+        "--json", default=None, help="also write the full chaos report here"
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     advise_parser = sub.add_parser(
         "advise", help="recommend generation sizes for a workload (§6 tool)"

@@ -39,7 +39,9 @@ from repro.core.placement import LifetimePlacementPolicy
 from repro.db.database import StableDatabase
 from repro.disk.block import BlockImage
 from repro.disk.partition import RangePartitioner
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, LogFullError, SimulationError
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import DiskFault
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.base import LogRecord, next_lsn_factory
 from repro.records.data import DataLogRecord
@@ -73,6 +75,7 @@ class EphemeralLogManager(LogManager):
         memory_model: Optional[MemoryModel] = None,
         trace: TraceLog = NULL_TRACE,
         metrics: MetricsRegistry = NULL_METRICS,
+        faults=NULL_FAULTS,
     ):
         sizes = list(generation_sizes)
         if not sizes:
@@ -117,6 +120,7 @@ class EphemeralLogManager(LogManager):
                 on_block_durable=self._handle_block_durable,
                 trace=trace,
                 metrics=metrics,
+                faults=faults,
             )
             for index, size in enumerate(sizes)
         ]
@@ -133,7 +137,35 @@ class EphemeralLogManager(LogManager):
             self._handle_flush_complete,
             trace=trace,
             metrics=metrics,
+            faults=faults,
         )
+
+        # Fault detection and self-healing (only wired when a plan injects).
+        self.faults = faults
+        self._fault_mode = faults.enabled
+        fault_metrics = metrics if self._fault_mode else NULL_METRICS
+        self._m_blocks_retired = fault_metrics.counter(f"{source}.fault.blocks_retired")
+        self._m_records_healed = fault_metrics.counter(f"{source}.fault.records_healed")
+        self._m_records_stabilised = fault_metrics.counter(
+            f"{source}.fault.records_stabilised"
+        )
+        self._m_deferred_acks = fault_metrics.counter(f"{source}.fault.deferred_acks")
+        if self._fault_mode:
+            for generation in self.generations:
+                generation.on_write_unresolved = self._handle_write_unresolved
+                generation.on_write_failed = self._handle_write_failed
+                generation.on_latent_fault = self._handle_latent_fault
+        #: LSNs whose only current copy sits in a faulted block -> owner tid.
+        self._held_lsns: Dict[int, int] = {}
+        #: Generations stuck at/below the safe ring size: committed records
+        #: demand-flush at the head instead of migrating (graceful
+        #: degradation once bad-block remapping has no spare slots left).
+        self._degraded = [False] * len(sizes)
+        self.blocks_retired = 0
+        self.records_healed = 0
+        self.records_stabilised = 0
+        self.deferred_acks = 0
+        self.degrade_episodes = 0
 
         # COMMIT LSN -> (tid, ack callback) awaiting group-commit durability.
         self._pending_acks: Dict[int, Tuple[int, CommitAckCallback]] = {}
@@ -248,7 +280,7 @@ class EphemeralLogManager(LogManager):
 
     def counters_snapshot(self) -> Dict[str, object]:
         """All manager-level counters as one JSON-ready dict (for manifests)."""
-        return {
+        snapshot: Dict[str, object] = {
             "fresh_records": self.fresh_records,
             "forwarded_records": self.forwarded_records,
             "recirculated_records": self.recirculated_records,
@@ -268,6 +300,9 @@ class EphemeralLogManager(LogManager):
             "buffer_overdrafts": [g.pool.overdrafts for g in self.generations],
             "flush": self.scheduler.counters_snapshot(),
         }
+        if self._fault_mode:
+            snapshot["faults"] = self.fault_report()
+        return snapshot
 
     def drain(self) -> None:
         """Seal every open buffer (used before crash points and at shutdown)."""
@@ -460,6 +495,7 @@ class EphemeralLogManager(LogManager):
                     self.unflushed_head_policy is UnflushedHeadPolicy.DEMAND_FLUSH
                     or (gen_index == last and not self.recirculation)
                     or self._pressure[gen_index]
+                    or self._degraded[gen_index]
                 )
                 if must_flush:
                     self._m_demand_flushes.inc()
@@ -483,7 +519,10 @@ class EphemeralLogManager(LogManager):
                     self._settle_by_demand_flush(entry)
                     continue
             if gen_index < last:
-                self._migrate(record, gen_index, self.generations[gen_index + 1])
+                if not self._migrate_or_evacuate(
+                    record, entry, gen_index, self.generations[gen_index + 1]
+                ):
+                    continue
                 self.forwarded_records += 1
                 self._m_forwarded.inc()
                 if traced:
@@ -494,7 +533,10 @@ class EphemeralLogManager(LogManager):
                         {"lsn": record.lsn, "from": gen_index, "gathered": False},
                     )
             elif self.recirculation:
-                self._migrate(record, gen_index, self.generations[gen_index])
+                if not self._migrate_or_evacuate(
+                    record, entry, gen_index, self.generations[gen_index]
+                ):
+                    continue
                 self.recirculated_records += 1
                 self._m_recirculated.inc()
                 if traced:
@@ -509,7 +551,10 @@ class EphemeralLogManager(LogManager):
                 # transaction can be neither killed (recovery might redo
                 # unacknowledged work) nor flushed (not yet durable).  Keep
                 # its records moving for the short group-commit window.
-                self._migrate(record, gen_index, self.generations[gen_index])
+                if not self._migrate_or_evacuate(
+                    record, entry, gen_index, self.generations[gen_index]
+                ):
+                    continue
                 self.emergency_recirculations += 1
                 if traced:
                     self.trace.emit(
@@ -525,6 +570,44 @@ class EphemeralLogManager(LogManager):
                 while record.cell is not None:
                     victim = self.kill_policy.choose_victim(self.ltt, record.tid)
                     self._kill(victim, reason="head-of-last-generation")
+
+    def _migrate_or_evacuate(
+        self,
+        record: LogRecord,
+        entry: LttEntry,
+        gen_index: int,
+        target: Generation,
+    ) -> bool:
+        """Migrate ``record``; under a fault-collapsed ring, fall back.
+
+        Fault injection can remap blocks out of a ring faster than the head
+        drains it, so a migration target may genuinely have no tail block
+        to reserve — something the fault-free space invariants rule out.
+        The fallback ladder: retry within the source generation (its head
+        just freed a slot), then evacuate by routes that need no log space
+        at all.  Returns whether the record still lives in the log.
+
+        Without fault injection the space invariants hold and a full ring
+        is a *deliberate* signal (``KillPolicy.FORBID``), so the error
+        propagates untouched.
+        """
+        if not self.faults.enabled:
+            self._migrate(record, gen_index, target)
+            return True
+        try:
+            self._migrate(record, gen_index, target)
+            return True
+        except LogFullError:
+            pass
+        if target.index != gen_index:
+            try:
+                self._migrate(record, gen_index, self.generations[gen_index])
+                self.emergency_recirculations += 1
+                return True
+            except LogFullError:
+                pass
+        self._evacuate_record(record, entry)
+        return False
 
     def _migrate(self, record: LogRecord, source_index: int, target: Generation) -> None:
         cell = record.cell
@@ -572,9 +655,273 @@ class EphemeralLogManager(LogManager):
                 self._guarded_slots[src_gen].add(src_slot)
 
     # ==================================================================
+    # Fault detection and self-healing
+    # ==================================================================
+    def _add_hold(self, record: LogRecord, entry: LttEntry) -> None:
+        """Mark ``record`` as currently having no durable copy."""
+        if record.lsn in self._held_lsns:
+            return
+        self._held_lsns[record.lsn] = entry.tid
+        entry.durability_holds += 1
+
+    def _release_hold(self, lsn: int) -> None:
+        tid = self._held_lsns.pop(lsn, None)
+        if tid is None:
+            return
+        entry = self.ltt.get(tid)
+        if entry is None:
+            return
+        if entry.durability_holds > 0:
+            entry.durability_holds -= 1
+        if entry.durability_holds == 0 and entry.deferred_ack is not None:
+            on_ack = entry.deferred_ack
+            entry.deferred_ack = None
+            self._commit_durable(entry.tid, on_ack)
+
+    def _handle_write_unresolved(self, generation: Generation, image: BlockImage) -> None:
+        """A block's first write attempt failed; stabilise its records.
+
+        While the block retries, an older durable copy of any of its records
+        could be physically overwritten (head reclamation reuses slots), so
+        the faulted copy must be treated as the *only* copy right now:
+
+        * committed data records are demand-flushed into the stable
+          database — once installed they need no log copy at all;
+        * committed tx records settle their transaction the same way;
+        * records of live transactions take a durability hold, deferring
+          the commit acknowledgement until a durable copy exists again.
+        """
+        stabilised = self._stabilise_block(generation, image, hold_live=True)
+        if stabilised and self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "stabilise",
+                {
+                    "generation": generation.index,
+                    "slot": image.address.slot,
+                    "records": stabilised,
+                },
+            )
+
+    def _stabilise_block(
+        self, generation: Generation, image: BlockImage, *, hold_live: bool
+    ) -> int:
+        stabilised = 0
+        for record in image.records:
+            cell = record.cell
+            if cell is None or cell.address != image.address:
+                continue  # garbage or a copy that moved on
+            entry = self.ltt.get(record.tid)
+            if entry is None:
+                raise SimulationError(
+                    f"live record lsn={record.lsn} has no LTT entry"
+                )
+            if entry.status is TxStatus.COMMITTED:
+                if isinstance(record, DataLogRecord):
+                    self.records_stabilised += 1
+                    self._m_records_stabilised.inc()
+                    self.scheduler.demand_flush(record)
+                else:
+                    self._settle_by_demand_flush(entry)
+                stabilised += 1
+            elif hold_live:
+                self._add_hold(record, entry)
+        return stabilised
+
+    def _handle_write_failed(
+        self, generation: Generation, image: BlockImage, fault: DiskFault
+    ) -> None:
+        """A block exhausted its retry budget: remap the slot and relocate.
+
+        The committed records were already stabilised on the first failed
+        attempt; whatever is still live migrates to a fresh tail block (its
+        durability holds, installed back then, release when the new copy
+        lands on disk).
+        """
+        self._retire_slot(generation, image.address.slot)
+        healed = self._relocate_live_records(generation, image)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "heal",
+                {
+                    "generation": generation.index,
+                    "slot": image.address.slot,
+                    "records": healed,
+                    "cause": "write_failed",
+                },
+            )
+
+    def _handle_latent_fault(
+        self, generation: Generation, image: BlockImage, fault: DiskFault
+    ) -> None:
+        """A durable block is decaying (scrub model: still readable now).
+
+        The device reports the imminent sector failure before the content
+        becomes unreadable, so the manager heals first: committed data
+        demand-flushes straight into the stable database, live records
+        migrate to a fresh block and hold their commit acks until the new
+        copy is durable.  The caller marks the image unreadable afterwards.
+        """
+        self._retire_slot(generation, image.address.slot)
+        self._stabilise_block(generation, image, hold_live=False)
+        healed = self._relocate_live_records(generation, image, hold=True)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "heal",
+                {
+                    "generation": generation.index,
+                    "slot": image.address.slot,
+                    "records": healed,
+                    "cause": "latent",
+                },
+            )
+
+    def _relocate_live_records(
+        self, generation: Generation, image: BlockImage, *, hold: bool = False
+    ) -> int:
+        healed = 0
+        for record in image.records:
+            cell = record.cell
+            if cell is None or cell.address != image.address:
+                continue
+            entry = self.ltt.get(record.tid)
+            if entry is None:
+                raise SimulationError(
+                    f"live record lsn={record.lsn} has no LTT entry"
+                )
+            if hold:
+                self._add_hold(record, entry)
+            if not self._migrate_or_evacuate(
+                record, entry, generation.index, generation
+            ):
+                continue
+            healed += 1
+            self.records_healed += 1
+            self._m_records_healed.inc()
+        if healed:
+            # The relocated copies must reach disk promptly — their old
+            # copies are gone (failed write) or decaying (latent error).
+            if generation.seal_migration():
+                self._clear_migration_sources(generation.index)
+        return healed
+
+    def _evacuate_record(self, record: LogRecord, entry: LttEntry) -> None:
+        """Get ``record`` out of harm's way without consuming log space.
+
+        Mirrors the head-routing fates: committed updates install straight
+        into the stable database, committed transactions settle the same
+        way, and active transactions are killed (the paper's last-resort
+        space reclamation).  A COMMIT_PENDING record keeps its durability
+        hold — its acknowledgement stays deferred, which is sound: losing
+        an *unacknowledged* commit at a crash is permitted, and the head
+        retries relocation when the ring has room again.
+        """
+        if entry.status is TxStatus.COMMITTED:
+            if isinstance(record, DataLogRecord):
+                self.records_stabilised += 1
+                self._m_records_stabilised.inc()
+                self.scheduler.demand_flush(record)
+            else:
+                self._settle_by_demand_flush(entry)
+        elif entry.status is TxStatus.ACTIVE:
+            while record.cell is not None:
+                victim = self.kill_policy.choose_victim(self.ltt, record.tid)
+                self._kill(victim, reason="fault-heal-no-space")
+
+    def _retire_slot(self, generation: Generation, slot: int) -> bool:
+        """Remap ``slot`` out of the ring if the safety floor allows it.
+
+        Shrinking re-derives the k-gap margin: the ring must keep at least
+        ``gap_blocks + 1`` usable slots (one block of content plus the
+        paper's head/tail separation).  Near the floor the generation
+        degrades to demand-flushing committed records at the head, which
+        caps the space the log needs.
+        """
+        array = generation.array
+        if array.usable_capacity - 1 <= self.gap_blocks:
+            self._set_degraded(generation.index, array.usable_capacity)
+            return False
+        array.retire(slot)
+        self.blocks_retired += 1
+        self._m_blocks_retired.inc()
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "remap",
+                {
+                    "generation": generation.index,
+                    "slot": slot,
+                    "usable": array.usable_capacity,
+                },
+            )
+        if array.usable_capacity <= self.gap_blocks + 3:
+            self._set_degraded(generation.index, array.usable_capacity)
+        return True
+
+    def _set_degraded(self, gen_index: int, usable: int) -> None:
+        if self._degraded[gen_index]:
+            return
+        self._degraded[gen_index] = True
+        self.degrade_episodes += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "degrade",
+                {"generation": gen_index, "usable": usable},
+            )
+
+    def fault_report(self) -> Dict[str, object]:
+        """JSON-ready summary of fault handling (fault-injected runs only)."""
+        return {
+            "write_faults": sum(g.write_faults for g in self.generations),
+            "write_retries": sum(g.write_retries for g in self.generations),
+            "failed_writes": sum(g.failed_writes for g in self.generations),
+            "latent_faults": sum(g.latent_faults for g in self.generations),
+            "blocks_retired": self.blocks_retired,
+            "retired_by_generation": [
+                list(g.array.retired_slots) for g in self.generations
+            ],
+            "records_healed": self.records_healed,
+            "records_stabilised": self.records_stabilised,
+            "deferred_acks": self.deferred_acks,
+            "outstanding_holds": len(self._held_lsns),
+            # A hold is legitimate while its transaction is still on the
+            # books (a deferred, never-acknowledged commit may stay held
+            # through end-of-run); one whose transaction is *gone* is a
+            # leak.  This must always be zero.
+            "stranded_holds": sum(
+                1 for tid in self._held_lsns.values()
+                if self.ltt.get(tid) is None
+            ),
+            "degraded_generations": [
+                index for index, flag in enumerate(self._degraded) if flag
+            ],
+            "flush_requeues": self.scheduler.flush_requeues,
+            "flush_drive_faults": sum(
+                d.stats.faults for d in self.scheduler.drives
+            ),
+        }
+
+    # ==================================================================
     # Commit / flush / kill plumbing
     # ==================================================================
     def _handle_block_durable(self, generation: Generation, image: BlockImage) -> None:
+        if self._held_lsns:
+            # A record held for durability is safe again once its *current*
+            # copy is on disk; release before the ack pass so a commit whose
+            # last hold clears in this very block can acknowledge.
+            for record in image.records:
+                if record.lsn in self._held_lsns:
+                    cell = record.cell
+                    if cell is not None and cell.address == image.address:
+                        self._release_hold(record.lsn)
         if not self._pending_acks:
             return
         for record in image.records:
@@ -586,6 +933,23 @@ class EphemeralLogManager(LogManager):
         entry = self.ltt.get(tid)
         if entry is None or entry.status is not TxStatus.COMMIT_PENDING:
             return  # the transaction was killed while the write was in flight
+        if entry.durability_holds > 0:
+            # Some of this transaction's records currently have no durable
+            # copy (their block is retrying or relocating after a fault).
+            # Acking now would promise durability the log cannot deliver;
+            # park the ack until every hold releases.
+            if entry.deferred_ack is None:
+                self.deferred_acks += 1
+                self._m_deferred_acks.inc()
+                if self.trace.enabled:
+                    self.trace.emit(
+                        self.sim.now,
+                        "fault",
+                        "ack_deferred",
+                        {"tid": tid, "holds": entry.durability_holds},
+                    )
+            entry.deferred_ack = on_ack
+            return
         entry.status = TxStatus.COMMITTED
         entry.commit_time = self.sim.now
         entry.commit_lsn = None
@@ -685,12 +1049,19 @@ class EphemeralLogManager(LogManager):
         """Move the tx cell onto a newer tx record (paper §2.3 + footnote 4)."""
         cell = entry.tx_cell
         assert cell is not None
+        if self._held_lsns and cell.record.lsn in self._held_lsns:
+            # The superseded tx record becomes garbage; recovery no longer
+            # needs a durable copy of it.
+            self._release_hold(cell.record.lsn)
         if cell.list is not None:
             cell.list.remove(cell)
         cell.repoint(record, address)
         self.generations[address.generation].cells.append_tail(cell)
 
     def _dispose_cell(self, cell: Cell) -> None:
+        if self._held_lsns and cell.record.lsn in self._held_lsns:
+            # Garbage records need no durable copy; drop the hold.
+            self._release_hold(cell.record.lsn)
         if cell.list is not None:
             cell.list.remove(cell)
         if cell.record.cell is cell:

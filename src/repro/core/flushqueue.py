@@ -23,6 +23,8 @@ from repro.db.objects import ObjectVersion
 from repro.disk.drive import DiskDrive
 from repro.disk.partition import RangePartitioner
 from repro.errors import SimulationError
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import DiskFault
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.data import DataLogRecord
 from repro.sim.engine import Simulator
@@ -108,11 +110,16 @@ class FlushScheduler:
         on_flush_complete: FlushCompleteCallback,
         trace: TraceLog = NULL_TRACE,
         metrics: MetricsRegistry = NULL_METRICS,
+        faults=NULL_FAULTS,
     ):
         self.sim = sim
         self.database = database
         self.partitioner = partitioner
-        self.drives = [DiskDrive(sim, i, write_seconds) for i in range(drive_count)]
+        self.faults = faults
+        self.drives = [
+            DiskDrive(sim, i, write_seconds, faults=faults)
+            for i in range(drive_count)
+        ]
         self._pools = [_DrivePool() for _ in range(drive_count)]
         self._in_service: List[Optional[int]] = [None] * drive_count
         self._on_flush_complete = on_flush_complete
@@ -141,6 +148,9 @@ class FlushScheduler:
         self.demand_flushes = 0
         self.completed = 0
         self.peak_backlog = 0
+        #: Writes whose drive exhausted its retry budget and went back to
+        #: the pool (fault-injected runs only).
+        self.flush_requeues = 0
 
     # ------------------------------------------------------------------
     # Log-manager-facing API
@@ -226,7 +236,7 @@ class FlushScheduler:
 
     def counters_snapshot(self) -> dict:
         """Scheduler-level counters as one JSON-ready dict (for manifests)."""
-        return {
+        data = {
             "submitted": self.submitted,
             "superseded_in_pool": self.superseded_in_pool,
             "demand_flushes": self.demand_flushes,
@@ -235,6 +245,9 @@ class FlushScheduler:
             "backlog": self.backlog(),
             "mean_seek_distance": self.mean_seek_distance(),
         }
+        if self.faults.enabled:
+            data["flush_requeues"] = self.flush_requeues
+        return data
 
     def drive_report(self, elapsed_seconds: float) -> list[dict]:
         """Per-drive utilisation and locality (the paper's drive-side view)."""
@@ -278,7 +291,31 @@ class FlushScheduler:
             self._on_flush_complete(record)
             self._kick(drive_index)
 
-        drive.write(oid, _done, seek_distance=seek)
+        if not self.faults.injects_flush:
+            drive.write(oid, _done, seek_distance=seek)
+            return
+
+        def _failed(fault: DiskFault) -> None:
+            # Retry budget exhausted: put the update back in the pool (a
+            # newer committed version wins if one arrived meanwhile) and
+            # try again after the backoff.  The update stays recoverable
+            # throughout — its log record is not garbage until installed.
+            self._in_service[drive_index] = None
+            self.flush_requeues += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now,
+                    "fault",
+                    "flush_requeue",
+                    {"oid": oid, "drive": drive_index, "attempts": fault.attempts},
+                )
+            if record.cell is not None:
+                pool.add_or_replace(record)
+            self.sim.after(
+                self.faults.plan.retry_backoff_seconds, self._kick, drive_index
+            )
+
+        drive.write(oid, _done, seek_distance=seek, on_fault=_failed)
 
     def _install(self, record: DataLogRecord) -> None:
         if self._measure_settle:

@@ -34,6 +34,8 @@ from repro.core.cells import CellList
 from repro.disk.block import BlockAddress, BlockImage
 from repro.disk.circular import CircularBlockArray
 from repro.errors import SimulationError
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import DiskFault, FaultKind
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.base import LogRecord
 from repro.sim.engine import Simulator
@@ -46,6 +48,12 @@ BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 BlockDurableCallback = Callable[["Generation", BlockImage], None]
 #: Callback type fired just before a tail slot is reserved.
 PreReserveCallback = Callable[["Generation", int], None]
+#: Callback type fired on a block's *first* failed write attempt.
+WriteUnresolvedCallback = Callable[["Generation", BlockImage], None]
+#: Callback type fired when a block's retry budget is exhausted.
+WriteFailedCallback = Callable[["Generation", BlockImage, DiskFault], None]
+#: Callback type fired when a durable block suffers a latent sector error.
+LatentFaultCallback = Callable[["Generation", BlockImage, DiskFault], None]
 
 
 class Generation:
@@ -63,6 +71,7 @@ class Generation:
         on_block_durable: BlockDurableCallback,
         trace: TraceLog = NULL_TRACE,
         metrics: MetricsRegistry = NULL_METRICS,
+        faults=NULL_FAULTS,
     ):
         self.sim = sim
         self.index = index
@@ -84,11 +93,22 @@ class Generation:
         #: Hook the log manager installs to protect pending migration
         #: buffers whose source slots are about to be overwritten.
         self.pre_reserve: Optional[PreReserveCallback] = None
+        self.faults = faults
+        #: Hook fired on a block's *first* failed attempt, before any retry
+        #: — the manager stabilises at-risk records behind it.
+        self.on_write_unresolved: Optional[WriteUnresolvedCallback] = None
+        #: Hook fired when the retry budget is exhausted (hard failure).
+        self.on_write_failed: Optional[WriteFailedCallback] = None
+        #: Hook fired when a durable block decays (latent sector error).
+        self.on_latent_fault: Optional[LatentFaultCallback] = None
 
         #: Sealed content per slot (the LM's view of the block).
         self.logical: Dict[int, BlockImage] = {}
         #: Completed-write content per slot (the crash-recovery view).
         self.durable: Dict[int, BlockImage] = {}
+        #: Issued-but-not-yet-durable content per slot (crash capture tears
+        #: these; the retry loop resolves them).
+        self.in_flight: Dict[int, BlockImage] = {}
 
         self.current: Optional[BlockBuffer] = None
         self.migration: Optional[BlockBuffer] = None
@@ -98,6 +118,10 @@ class Generation:
         self.records_appended = 0
         self.writes_in_flight = 0
         self.peak_used = 0
+        self.write_faults = 0
+        self.write_retries = 0
+        self.failed_writes = 0
+        self.latent_faults = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -255,7 +279,10 @@ class Generation:
     def _issue_write(self, buffer: BlockBuffer) -> None:
         image = buffer.start_write()
         slot = image.address.slot
+        if self.faults.checksum_blocks:
+            image.record_checksum()
         self.logical[slot] = image
+        self.in_flight[slot] = image
         self.blocks_written += 1
         self.bytes_written += image.payload_used
         self.writes_in_flight += 1
@@ -274,21 +301,123 @@ class Generation:
                     "bytes": image.payload_used,
                 },
             )
+        self.sim.after(self.write_seconds, self._write_landed, buffer, image, slot, 0)
 
-        def _complete() -> None:
-            self.writes_in_flight -= 1
-            self.durable[slot] = image
-            buffer.finish_write()
-            if self.trace.enabled:
-                self.trace.emit(
-                    self.sim.now,
-                    "log",
-                    "block_durable",
-                    {"generation": self.index, "slot": slot},
-                )
-            self._on_block_durable(self, image)
+    def _write_landed(
+        self, buffer: BlockBuffer, image: BlockImage, slot: int, attempt: int
+    ) -> None:
+        """One write attempt finished: success, retry, or hard failure.
 
-        self.sim.after(self.write_seconds, _complete)
+        Transient faults fail the attempt outright; torn faults persist a
+        prefix that read-back checksum verification rejects — both retry
+        in place after the plan's backoff until the budget runs out.
+        """
+        faults = self.faults
+        if faults.injects_log_writes:
+            kind = faults.log_write_outcome(self.index, slot)
+            if kind is not None:
+                self._write_faulted(buffer, image, slot, attempt, kind)
+                return
+        self.writes_in_flight -= 1
+        self.in_flight.pop(slot, None)
+        self.durable[slot] = image
+        buffer.finish_write()
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "log",
+                "block_durable",
+                {"generation": self.index, "slot": slot},
+            )
+        if faults.injects_latent:
+            delay = faults.latent_delay(self.index, slot)
+            if delay is not None:
+                self.sim.after(delay, self._latent_fire, slot, image)
+        self._on_block_durable(self, image)
+
+    def _write_faulted(
+        self, buffer: BlockBuffer, image: BlockImage, slot: int, attempt: int, kind: FaultKind
+    ) -> None:
+        self.write_faults += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "write_fault",
+                {
+                    "generation": self.index,
+                    "slot": slot,
+                    "kind": kind.value,
+                    "attempt": attempt,
+                },
+            )
+        if attempt == 0 and self.on_write_unresolved is not None:
+            # First failure of this block: give the manager a chance to
+            # stabilise records whose only other durable copy could be
+            # overwritten while the retries run.
+            self.on_write_unresolved(self, image)
+        plan = self.faults.plan
+        if attempt < plan.max_retries:
+            self.write_retries += 1
+            self.sim.after(
+                plan.retry_backoff_seconds + self.write_seconds,
+                self._write_landed,
+                buffer,
+                image,
+                slot,
+                attempt + 1,
+            )
+            return
+        # Retry budget exhausted: the block never becomes durable.  The
+        # manager relocates its live records and considers remapping.
+        self.writes_in_flight -= 1
+        self.in_flight.pop(slot, None)
+        self.failed_writes += 1
+        buffer.finish_write()
+        fault = DiskFault(
+            kind,
+            time=self.sim.now,
+            generation=self.index,
+            slot=slot,
+            attempts=attempt + 1,
+        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "write_failed",
+                {"generation": self.index, "slot": slot, "attempts": attempt + 1},
+            )
+        if self.on_write_failed is not None:
+            self.on_write_failed(self, image, fault)
+
+    def _latent_fire(self, slot: int, image: BlockImage) -> None:
+        """A previously durable block decays (latent sector error).
+
+        Scrub model: the device reports the imminent failure while the
+        content is still readable, the manager heals (relocates live and
+        committed data), and only then is the copy marked unreadable.
+        Stale schedules — the slot was overwritten since — are ignored.
+        """
+        if self.durable.get(slot) is not image:
+            return
+        self.latent_faults += 1
+        fault = DiskFault(
+            FaultKind.LATENT_ERROR,
+            time=self.sim.now,
+            generation=self.index,
+            slot=slot,
+        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fault",
+                "latent",
+                {"generation": self.index, "slot": slot},
+            )
+        if self.on_latent_fault is not None:
+            self.on_latent_fault(self, image, fault)
+        image.unreadable = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

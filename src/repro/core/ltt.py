@@ -39,6 +39,8 @@ class LttEntry:
         "commit_time",
         "commit_lsn",
         "home_generation",
+        "durability_holds",
+        "deferred_ack",
     )
 
     def __init__(self, tid: int, begin_time: float):
@@ -55,6 +57,13 @@ class LttEntry:
         #: Generation this transaction's fresh records are appended to
         #: (always 0 unless a lifetime placement policy says otherwise).
         self.home_generation = 0
+        #: Records of this transaction whose only current copy sits in a
+        #: faulted (retrying/relocating) block.  While positive, the commit
+        #: acknowledgement is deferred — acking would claim durability the
+        #: log cannot yet provide.
+        self.durability_holds = 0
+        #: Ack callback parked by ``_commit_durable`` until holds release.
+        self.deferred_ack = None
 
     @property
     def is_live(self) -> bool:

@@ -30,7 +30,15 @@ class BlockAddress(NamedTuple):
 class BlockImage:
     """The simulated contents of one written (or reserved) log block."""
 
-    __slots__ = ("address", "payload_capacity", "payload_used", "records", "write_lsn")
+    __slots__ = (
+        "address",
+        "payload_capacity",
+        "payload_used",
+        "records",
+        "write_lsn",
+        "checksum",
+        "unreadable",
+    )
 
     def __init__(self, address: BlockAddress, payload_capacity: int):
         self.address = address
@@ -39,6 +47,12 @@ class BlockImage:
         self.records: list[LogRecord] = []
         #: LSN of the first record when the block was sealed; None until then.
         self.write_lsn: int | None = None
+        #: CRC32 over the wire encoding, recorded at write time when fault
+        #: injection is enabled; None means "no checksum" (trusted media).
+        self.checksum: int | None = None
+        #: Set when a latent sector error has destroyed this copy; the log
+        #: scan skips unreadable blocks.
+        self.unreadable = False
 
     @property
     def free_bytes(self) -> int:
@@ -63,6 +77,37 @@ class BlockImage:
         """Mark the image as written; remembers the first record's LSN."""
         if self.records:
             self.write_lsn = self.records[0].lsn
+
+    def record_checksum(self) -> None:
+        """Stamp the CRC of the full record set (fault-injected runs only)."""
+        from repro.records.encoding import block_checksum
+
+        self.checksum = block_checksum(self.records)
+
+    def checksum_ok(self) -> bool:
+        """Verify content against the recorded checksum.
+
+        Blocks written without a checksum (trusted media) always pass.
+        """
+        if self.checksum is None:
+            return True
+        from repro.records.encoding import block_checksum
+
+        return block_checksum(self.records) == self.checksum
+
+    def torn_copy(self, keep: int) -> "BlockImage":
+        """The image a torn write leaves behind: the first ``keep`` records.
+
+        The copy carries the checksum of the *full* record set, so unless
+        ``keep == len(records)`` the tear is detectable — exactly how a
+        real controller catches a partial block write.
+        """
+        copy = BlockImage(self.address, self.payload_capacity)
+        copy.records = list(self.records[:keep])
+        copy.payload_used = sum(r.size for r in copy.records)
+        copy.write_lsn = copy.records[0].lsn if copy.records else None
+        copy.checksum = self.checksum
+        return copy
 
     def __iter__(self) -> Iterator[LogRecord]:
         return iter(self.records)

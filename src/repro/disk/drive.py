@@ -7,7 +7,10 @@ one request at a time for any particular drive."
 The drive is deliberately simple: a fixed per-write service time (the
 configured transfer time already folds in seek/rotation allowances — the
 paper's 25 ms is "conservative") plus position tracking so the scheduler and
-stats can reason about locality.
+stats can reason about locality.  Under fault injection a write attempt can
+fail transiently; the drive retries in place up to the plan's budget and,
+if the budget is exhausted, surfaces a typed :class:`DiskFault` to the
+caller instead of silently succeeding.
 """
 
 from __future__ import annotations
@@ -16,15 +19,17 @@ from typing import Callable, Optional
 
 from repro.disk.stats import DriveStats
 from repro.errors import SimulationError
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import DiskFault, FaultKind
 from repro.sim.engine import Simulator
 
 
 class DiskDrive:
     """One drive with single-request service and a current oid position."""
 
-    __slots__ = ("sim", "index", "write_seconds", "stats", "_busy", "position")
+    __slots__ = ("sim", "index", "write_seconds", "stats", "_busy", "position", "faults")
 
-    def __init__(self, sim: Simulator, index: int, write_seconds: float):
+    def __init__(self, sim: Simulator, index: int, write_seconds: float, *, faults=NULL_FAULTS):
         if write_seconds <= 0:
             raise SimulationError(f"write time must be positive, got {write_seconds}")
         self.sim = sim
@@ -34,6 +39,7 @@ class DiskDrive:
         self._busy = False
         #: Last oid written, used as the arm position for locality decisions.
         self.position: Optional[int] = None
+        self.faults = faults
 
     @property
     def busy(self) -> bool:
@@ -45,24 +51,65 @@ class DiskDrive:
         oid: int,
         on_complete: Callable[[], None],
         seek_distance: int | None = None,
+        on_fault: Callable[[DiskFault], None] | None = None,
     ) -> None:
         """Service one block write for ``oid``; fire ``on_complete`` when done.
 
         ``seek_distance`` is the circular oid distance from the previous
         position, provided by the scheduler (which knows the partition
         geometry); it feeds the locality statistics only.
+
+        Under fault injection, a transiently failing attempt is retried in
+        place after the plan's backoff; when the retry budget runs out the
+        drive goes idle and reports a :class:`DiskFault` via ``on_fault``
+        (required when flush faults are enabled).
         """
         if self._busy:
             raise SimulationError(f"drive {self.index} is busy")
         self._busy = True
+        self.sim.after(self.write_seconds, self._service, oid, on_complete, seek_distance, on_fault, 0)
 
-        def _finish() -> None:
+    def _service(
+        self,
+        oid: int,
+        on_complete: Callable[[], None],
+        seek_distance: int | None,
+        on_fault: Callable[[DiskFault], None] | None,
+        attempt: int,
+    ) -> None:
+        faults = self.faults
+        if faults.injects_flush and faults.flush_write_fails(self.index):
+            self.stats.record_fault(self.write_seconds)
+            plan = faults.plan
+            if attempt < plan.max_retries:
+                self.sim.after(
+                    plan.retry_backoff_seconds + self.write_seconds,
+                    self._service,
+                    oid,
+                    on_complete,
+                    seek_distance,
+                    on_fault,
+                    attempt + 1,
+                )
+                return
             self._busy = False
-            self.position = oid
-            self.stats.record_write(self.write_seconds, seek_distance)
-            on_complete()
-
-        self.sim.after(self.write_seconds, _finish)
+            if on_fault is None:
+                raise SimulationError(
+                    f"drive {self.index} write failed with no fault handler"
+                )
+            on_fault(
+                DiskFault(
+                    FaultKind.FLUSH_WRITE,
+                    time=self.sim.now,
+                    drive=self.index,
+                    attempts=attempt + 1,
+                )
+            )
+            return
+        self._busy = False
+        self.position = oid
+        self.stats.record_write(self.write_seconds, seek_distance)
+        on_complete()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "busy" if self._busy else "idle"

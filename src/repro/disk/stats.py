@@ -11,13 +11,21 @@ class DriveStats:
     oid range); :attr:`mean_seek_distance` is that quantity for this drive.
     """
 
-    __slots__ = ("writes", "busy_seconds", "seek_distance_total", "seek_samples")
+    __slots__ = (
+        "writes",
+        "busy_seconds",
+        "seek_distance_total",
+        "seek_samples",
+        "faults",
+    )
 
     def __init__(self) -> None:
         self.writes = 0
         self.busy_seconds = 0.0
         self.seek_distance_total = 0
         self.seek_samples = 0
+        #: Injected write-attempt failures (fault-injected runs only).
+        self.faults = 0
 
     def record_write(self, service_seconds: float, seek_distance: int | None) -> None:
         """Account one completed write and (optionally) its oid distance."""
@@ -26,6 +34,11 @@ class DriveStats:
         if seek_distance is not None:
             self.seek_distance_total += seek_distance
             self.seek_samples += 1
+
+    def record_fault(self, service_seconds: float) -> None:
+        """Account one failed write attempt: service time spent, no write."""
+        self.faults += 1
+        self.busy_seconds += service_seconds
 
     @property
     def mean_seek_distance(self) -> float:
@@ -46,13 +59,18 @@ class DriveStats:
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of the raw counters (for run manifests)."""
-        return {
+        data = {
             "writes": self.writes,
             "busy_seconds": self.busy_seconds,
             "seek_distance_total": self.seek_distance_total,
             "seek_samples": self.seek_samples,
             "mean_seek_distance": self.mean_seek_distance,
         }
+        # Only fault-injected runs carry the extra key, keeping fault-free
+        # manifests byte-identical to the pre-fault layer.
+        if self.faults:
+            data["faults"] = self.faults
+        return data
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

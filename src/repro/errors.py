@@ -57,3 +57,16 @@ class SearchError(ReproError):
 
 class ParallelExecutionError(ReproError):
     """A worker run failed (or timed out) after exhausting its retries."""
+
+
+class SweepInterruptedError(ParallelExecutionError):
+    """A sweep was interrupted (Ctrl-C, dead worker pool) mid-batch.
+
+    Completed runs are already in the per-run cache; ``completed_fingerprints``
+    names them so a re-run of the same sweep resumes where it stopped
+    instead of starting over.
+    """
+
+    def __init__(self, message: str, completed_fingerprints=()):
+        super().__init__(message)
+        self.completed_fingerprints = list(completed_fingerprints)

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the log-management stack.
+
+The package is split the same way as :mod:`repro.obs`:
+
+``plan``
+    :class:`FaultPlan` — the frozen, fingerprint-aware description of
+    *which* faults a run should suffer (rates, crash schedule, retry
+    budget).  Carried on :class:`~repro.harness.config.SimulationConfig`.
+
+``injector``
+    :class:`FaultInjector` — the per-run object that turns a plan into
+    concrete fault draws from dedicated seeded RNG streams, plus the
+    :data:`NULL_FAULTS` null object used when no plan is configured so
+    the fault layer is zero-cost-off.
+
+``crash``
+    Whole-system crash capture: torn in-flight blocks, recovery over the
+    surviving images, and crash-consistency verification at every
+    scheduled crash instant.
+"""
+
+from repro.faults.injector import NULL_FAULTS, FaultInjector
+from repro.faults.plan import DiskFault, FaultKind, FaultPlan
+
+__all__ = [
+    "DiskFault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "NULL_FAULTS",
+]

@@ -18,6 +18,7 @@ from repro import constants
 from repro.core.interface import UnflushedHeadPolicy
 from repro.core.killpolicy import KillPolicy
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.obs import ObsConfig
 from repro.workload.spec import WorkloadMix, paper_mix
 
@@ -70,6 +71,11 @@ class SimulationConfig:
     #: Observability switches (tracing, metrics, JSONL export, manifest);
     #: ``None`` means everything off — the zero-overhead default.
     obs: Optional[ObsConfig] = None
+    #: Fault-injection plan; ``None`` means perfect hardware.  Unlike
+    #: ``obs``, a plan that injects anything *does* change simulated
+    #: behaviour and is therefore part of the fingerprint (the default
+    #: ``None`` is omitted, so pre-fault fingerprints are unchanged).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not self.generation_sizes:
@@ -91,6 +97,15 @@ class SimulationConfig:
             raise ConfigurationError("arrival_rate must be positive")
         if self.sample_period <= 0:
             raise ConfigurationError("sample_period must be positive")
+        if (
+            self.faults is not None
+            and self.faults.any_enabled
+            and self.technique is Technique.HYBRID
+        ):
+            raise ConfigurationError(
+                "fault injection is not supported for the hybrid manager "
+                "(it has no detection/self-healing hooks)"
+            )
 
     def to_json_dict(self) -> dict:
         """JSON-ready dict of every field (the run-manifest config block)."""

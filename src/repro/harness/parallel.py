@@ -38,7 +38,9 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ParallelExecutionError
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import ParallelExecutionError, SweepInterruptedError
 from repro.harness.config import SimulationConfig
 from repro.harness.results import SimulationResult
 from repro.harness.simulator import run_simulation
@@ -178,9 +180,16 @@ class ParallelRunner:
         document = self.cache.get(f"run-{fingerprint}")
         if document is None:
             return None
+        try:
+            result = SimulationResult.from_dict(document)
+        except (TypeError, KeyError, ValueError):
+            # Parsed as JSON but doesn't deserialise (truncated rewrite,
+            # foreign schema): quarantine the entry and recompute.
+            self.cache.quarantine(f"run-{fingerprint}")
+            return None
         with self._lock:
             self.cache_hits += 1
-        return SimulationResult.from_dict(document)
+        return result
 
     def _record(
         self, fingerprint: str, result: SimulationResult, manifest: dict
@@ -191,12 +200,35 @@ class ParallelRunner:
             self.runs_executed += 1
             self.worker_manifests.append(manifest)
 
+    def _interrupted(
+        self,
+        cause: BaseException,
+        executed: Dict[str, SimulationResult],
+        pending: Dict[str, Tuple[SimulationConfig, List[int]]],
+    ) -> SweepInterruptedError:
+        """Convert an interruption into a resumable partial-result error."""
+        completed = sorted(executed)
+        resume = (
+            "; completed runs are in the per-run cache — re-running the "
+            "sweep resumes from them"
+            if self.cache is not None
+            else ""
+        )
+        return SweepInterruptedError(
+            f"sweep interrupted by {type(cause).__name__} with "
+            f"{len(completed)} of {len(pending)} run(s) completed{resume}",
+            completed_fingerprints=completed,
+        )
+
     def _run_serial(
         self, pending: Dict[str, Tuple[SimulationConfig, List[int]]]
     ) -> Dict[str, SimulationResult]:
         executed: Dict[str, SimulationResult] = {}
         for fingerprint, (config, _indexes) in pending.items():
-            result, manifest = self.worker(config)
+            try:
+                result, manifest = self.worker(config)
+            except KeyboardInterrupt as exc:
+                raise self._interrupted(exc, executed, pending) from exc
             self._record(fingerprint, result, manifest)
             executed[fingerprint] = result
         return executed
@@ -227,6 +259,12 @@ class ParallelRunner:
                         self.timeouts += 1
                     last_error = exc
                     still_unresolved[fp] = unresolved[fp]
+                except (KeyboardInterrupt, BrokenProcessPool) as exc:
+                    # Ctrl-C or a dead pool is not a per-run failure:
+                    # surface what already completed so the sweep can be
+                    # resumed from the cache instead of restarted.
+                    self.close()
+                    raise self._interrupted(exc, executed, pending) from exc
                 except Exception as exc:  # worker died or raised
                     last_error = exc
                     still_unresolved[fp] = unresolved[fp]

@@ -63,6 +63,10 @@ class SimulationResult:
     events_executed: int = 0
     wall_seconds: float = 0.0
     failed: Optional[str] = None  # LogFullError text when the run aborted
+    #: Fault-handling summary (injected counts, retries, remaps, heals);
+    #: ``None`` for fault-free runs and then omitted from ``to_dict`` so
+    #: their cached documents stay byte-identical to the pre-fault layer.
+    faults: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -96,7 +100,7 @@ class SimulationResult:
         data = {
             key: value
             for key, value in self.__dict__.items()
-            if key != "generations"
+            if key != "generations" and not (key == "faults" and value is None)
         }
         data["generations"] = [dict(g.__dict__) for g in self.generations]
         return data

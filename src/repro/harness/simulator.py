@@ -19,6 +19,7 @@ from repro.db.database import StableDatabase
 from repro.db.objects import ObjectVersion
 from repro.disk.block import BlockImage
 from repro.errors import LogFullError
+from repro.faults.injector import NULL_FAULTS, FaultInjector
 from repro.harness.config import SimulationConfig, Technique
 from repro.harness.results import GenerationResult, SimulationResult
 from repro.metrics.series import PeriodicSampler
@@ -40,6 +41,12 @@ class Simulation:
         self.database = StableDatabase(config.num_objects)
         self.obs = Observability(config.obs)
         self.manifest: Optional[RunManifest] = None
+        if config.faults is not None and config.faults.any_enabled:
+            self.faults = FaultInjector(
+                config.faults, self.rng, metrics=self.obs.metrics
+            )
+        else:
+            self.faults = NULL_FAULTS
         self.manager = self._build_manager()
         self.generator = WorkloadGenerator(
             self.sim,
@@ -93,9 +100,12 @@ class Simulation:
                 self.sim,
                 self.database,
                 log_blocks=config.generation_sizes[0],
+                faults=self.faults,
                 **common,
             )
         if config.technique is Technique.HYBRID:
+            # config.__post_init__ rejects hybrid + an enabled fault plan;
+            # the hybrid manager has no self-healing hooks.
             return HybridLogManager(
                 self.sim,
                 self.database,
@@ -112,6 +122,7 @@ class Simulation:
             recirculation=config.recirculation,
             unflushed_head_policy=config.unflushed_head_policy,
             placement=placement,
+            faults=self.faults,
             **common,
         )
 
@@ -254,6 +265,11 @@ class Simulation:
             wall_seconds=wall,
             failed=failed,
         )
+        if self.faults.enabled:
+            summary = {"injected": self.faults.counters_snapshot()}
+            if hasattr(manager, "fault_report"):
+                summary.update(manager.fault_report())
+            result.faults = summary
         memory = self.sampler.series["memory_bytes"]
         result.memory_peak_bytes = int(memory.maximum)
         result.memory_mean_bytes = memory.mean

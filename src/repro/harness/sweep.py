@@ -38,6 +38,9 @@ class SweepCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        #: Entries found truncated/corrupt and moved aside (kept for
+        #: post-mortems as ``*.corrupt``; the result is recomputed).
+        self.corrupt_entries = 0
         #: Counter updates only; file operations are already atomic
         #: (``os.replace``) so concurrent sweep threads can share one cache.
         self._lock = threading.Lock()
@@ -56,13 +59,44 @@ class SweepCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # A truncated or corrupt entry (killed writer, disk fault).
+            # Quarantine it instead of retrying it forever: the caller
+            # recomputes and overwrites the slot with a good document.
+            self._quarantine(path)
+            with self._lock:
+                self.misses += 1
+            return None
+        if not isinstance(document, dict):
+            self._quarantine(path)
             with self._lock:
                 self.misses += 1
             return None
         with self._lock:
             self.hits += 1
         return document
+
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move ``key``'s entry aside as ``*.corrupt``; returns the new path.
+
+        For callers that discover an entry is semantically broken (parses
+        as JSON but doesn't deserialise) after :meth:`get` accepted it.
+        """
+        return self._quarantine(self._path(key))
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None  # a concurrent reader already moved or removed it
+        with self._lock:
+            self.corrupt_entries += 1
+        return target
 
     def put(self, key: str, document: dict) -> None:
         if not self.enabled:
@@ -89,9 +123,10 @@ class SweepCache:
         """Delete every cache file; returns how many were removed."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
-                removed += 1
+            for pattern in ("*.json", "*.corrupt"):
+                for path in self.directory.glob(pattern):
+                    path.unlink()
+                    removed += 1
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -59,6 +59,19 @@ EVENT_SCHEMA: Dict[str, set] = {
     "flush": {"submit", "complete", "demand", "settle"},
     # Log generations (block lifecycle).
     "log": {"block_write", "block_durable"},
+    # Fault injection and self-healing (disk faults, remaps, crash checks).
+    "fault": {
+        "write_fault",
+        "write_failed",
+        "latent",
+        "stabilise",
+        "heal",
+        "remap",
+        "degrade",
+        "ack_deferred",
+        "flush_requeue",
+        "crash_check",
+    },
     # Harness lifecycle markers.
     "run": {"begin", "end"},
 }

@@ -21,6 +21,7 @@ remain self-describing.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterable
 
 from repro.errors import RecordIntegrityError
@@ -99,3 +100,17 @@ class RecordCodec:
             record, offset = self.decode(data, offset)
             records.append(record)
         return records
+
+
+_CODEC = RecordCodec()
+
+
+def block_checksum(records: Iterable[LogRecord]) -> int:
+    """CRC32 of the wire encoding of a block's records.
+
+    Computed over the *bytes* a real controller would write, so a torn
+    write (a prefix of the records) or any record-level corruption fails
+    verification.  Only computed when fault injection is enabled — a
+    fault-free run never encodes blocks on the hot path.
+    """
+    return zlib.crc32(_CODEC.encode_block(records)) & 0xFFFFFFFF

@@ -18,17 +18,35 @@ from repro.records.data import DataLogRecord
 
 
 class LogScan:
-    """A de-duplicated view of every record durably on disk."""
+    """A de-duplicated view of every record durably on disk.
+
+    Fault-aware: blocks marked unreadable (latent sector errors) are
+    skipped outright, and blocks whose stamped checksum no longer matches
+    their content (torn writes at a crash) are discarded rather than
+    trusted — exactly the "detect, never silently apply" recovery posture
+    the fault model requires.  Fault-free scans pay nothing: images carry
+    no checksum and ``unreadable`` is always ``False``.
+    """
 
     def __init__(self, images: Iterable[BlockImage]):
         self.blocks_scanned = 0
         self.copies_scanned = 0
+        self.unreadable_blocks = 0
+        self.corrupt_blocks = 0
+        self.readable_images: List[BlockImage] = []
         self._records: Dict[int, LogRecord] = {}
         self.committed_tids: Set[int] = set()
         self.aborted_tids: Set[int] = set()
         self.seen_tids: Set[int] = set()
         for image in images:
             self.blocks_scanned += 1
+            if image.unreadable:
+                self.unreadable_blocks += 1
+                continue
+            if not image.checksum_ok():
+                self.corrupt_blocks += 1
+                continue
+            self.readable_images.append(image)
             for record in image.records:
                 self.copies_scanned += 1
                 self._records.setdefault(record.lsn, record)

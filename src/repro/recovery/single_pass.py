@@ -27,6 +27,8 @@ class SinglePassRecovery:
         self.records_applied = 0
         self.records_skipped_stale = 0
         self.records_skipped_loser = 0
+        #: The fault-filtered scan of the last :meth:`recover` call.
+        self.scan: Optional[LogScan] = None
 
     def recover(
         self, stable: Optional[Dict[int, ObjectVersion]] = None
@@ -39,10 +41,12 @@ class SinglePassRecovery:
         """
         state: Dict[int, ObjectVersion] = dict(stable) if stable else {}
         # Pass 0 is free: the commit set falls out of the same sweep that
-        # loaded the log into memory.
-        scan = LogScan(self.images)
-        committed = scan.committed_tids
-        for image in self.images:
+        # loaded the log into memory.  The scan also filters out blocks a
+        # faulty disk made unreadable or a crash left torn; only its
+        # readable view may be applied.
+        self.scan = LogScan(self.images)
+        committed = self.scan.committed_tids
+        for image in self.scan.readable_images:
             for record in image.records:
                 if record.kind is not RecordKind.DATA:
                     continue

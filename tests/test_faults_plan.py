@@ -1,0 +1,162 @@
+"""Tests for the fault plan, the injector's draws, and config integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import DiskFault, FaultInjector, FaultKind, FaultPlan, NULL_FAULTS
+from repro.harness.config import SimulationConfig, Technique
+from repro.obs import ObsConfig
+from repro.sim.rng import SimRng
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not plan.any_enabled
+        assert not plan.injects_log_writes
+        assert not plan.injects_latent
+        assert not plan.injects_flush
+
+    def test_each_knob_enables(self):
+        assert FaultPlan(transient_write_rate=0.1).any_enabled
+        assert FaultPlan(torn_write_rate=0.1).any_enabled
+        assert FaultPlan(latent_error_rate=0.1).any_enabled
+        assert FaultPlan(flush_fault_rate=0.1).any_enabled
+        assert FaultPlan(crash_times=(5.0,)).any_enabled
+
+    @pytest.mark.parametrize(
+        "field", ["transient_write_rate", "torn_write_rate",
+                  "latent_error_rate", "flush_fault_rate"]
+    )
+    def test_rates_validated(self, field):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: -0.1})
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: 1.0})
+
+    def test_combined_write_rates_must_leave_room_for_success(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(transient_write_rate=0.6, torn_write_rate=0.4)
+
+    def test_other_fields_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(latent_delay_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(retry_backoff_seconds=-0.001)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_times=(0.0,))
+
+    def test_crash_times_coerced_to_float_tuple(self):
+        plan = FaultPlan(crash_times=[5, 10.5])
+        assert plan.crash_times == (5.0, 10.5)
+        assert isinstance(plan.crash_times, tuple)
+
+    def test_disk_fault_describe(self):
+        fault = DiskFault(
+            FaultKind.TORN_WRITE, time=1.5, generation=1, slot=3, attempts=2
+        )
+        text = fault.describe()
+        assert "torn_write" in text and "gen=1" in text and "slot=3" in text
+
+
+class TestFaultInjector:
+    def _injector(self, plan, seed=0):
+        return FaultInjector(plan, SimRng(seed))
+
+    def test_same_seed_same_draws(self):
+        plan = FaultPlan(transient_write_rate=0.3, torn_write_rate=0.2,
+                         latent_error_rate=0.4, flush_fault_rate=0.5)
+        a, b = self._injector(plan), self._injector(plan)
+        assert [a.log_write_outcome(0, i) for i in range(200)] == [
+            b.log_write_outcome(0, i) for i in range(200)
+        ]
+        assert [a.latent_delay(0, i) for i in range(200)] == [
+            b.latent_delay(0, i) for i in range(200)
+        ]
+        assert [a.flush_write_fails(0) for _ in range(200)] == [
+            b.flush_write_fails(0) for _ in range(200)
+        ]
+        assert a.counters_snapshot() == b.counters_snapshot()
+
+    def test_streams_are_independent(self):
+        # Drawing flush faults must not perturb the log-write sequence.
+        plan = FaultPlan(transient_write_rate=0.3, flush_fault_rate=0.5)
+        quiet, noisy = self._injector(plan), self._injector(plan)
+        outcomes_quiet = []
+        outcomes_noisy = []
+        for i in range(100):
+            outcomes_quiet.append(quiet.log_write_outcome(0, i))
+            noisy.flush_write_fails(i % 4)
+            outcomes_noisy.append(noisy.log_write_outcome(0, i))
+        assert outcomes_quiet == outcomes_noisy
+
+    def test_outcomes_match_counters(self):
+        plan = FaultPlan(transient_write_rate=0.4, torn_write_rate=0.3)
+        injector = self._injector(plan)
+        outcomes = [injector.log_write_outcome(0, i) for i in range(500)]
+        snapshot = injector.counters_snapshot()
+        assert snapshot["transient_writes"] == outcomes.count(
+            FaultKind.TRANSIENT_WRITE
+        )
+        assert snapshot["torn_writes"] == outcomes.count(FaultKind.TORN_WRITE)
+        assert snapshot["transient_writes"] > 0
+        assert snapshot["torn_writes"] > 0
+        assert outcomes.count(None) > 0
+
+    def test_latent_delay_bounded(self):
+        plan = FaultPlan(latent_error_rate=0.9, latent_delay_seconds=2.0)
+        injector = self._injector(plan)
+        delays = [injector.latent_delay(0, i) for i in range(200)]
+        fired = [d for d in delays if d is not None]
+        assert fired
+        assert all(0.0 <= d < 2.0 for d in fired)
+
+    def test_null_injector_is_inert(self):
+        assert not NULL_FAULTS.enabled
+        assert not NULL_FAULTS.injects_log_writes
+        assert not NULL_FAULTS.injects_latent
+        assert not NULL_FAULTS.injects_flush
+        assert not NULL_FAULTS.checksum_blocks
+        assert NULL_FAULTS.counters_snapshot() == {}
+
+
+class TestConfigIntegration:
+    def test_faults_default_keeps_old_fingerprints(self):
+        # The faults field defaults to None and default-valued fields are
+        # omitted, so pre-fault fingerprints are unchanged.
+        assert SimulationConfig().fingerprint_payload() == {}
+
+    def test_enabled_plan_changes_fingerprint(self):
+        base = SimulationConfig.ephemeral((18, 16), runtime=30.0)
+        faulty = base.replace(faults=FaultPlan(transient_write_rate=0.1))
+        assert base.fingerprint() != faulty.fingerprint()
+
+    def test_obs_still_excluded_with_faults_present(self):
+        faulty = SimulationConfig.ephemeral(
+            (18, 16), runtime=30.0, faults=FaultPlan(transient_write_rate=0.1)
+        )
+        observed = faulty.replace(obs=ObsConfig(trace=True, metrics=True))
+        assert faulty.fingerprint() == observed.fingerprint()
+
+    def test_hybrid_rejects_enabled_plan(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                technique=Technique.HYBRID,
+                faults=FaultPlan(transient_write_rate=0.1),
+            )
+        # An inert plan is allowed: it changes nothing.
+        SimulationConfig(technique=Technique.HYBRID, faults=FaultPlan())
+
+    def test_plan_serialises_in_config_json(self):
+        config = SimulationConfig.ephemeral(
+            (18, 16),
+            runtime=30.0,
+            faults=FaultPlan(transient_write_rate=0.1, crash_times=(5.0,)),
+        )
+        doc = config.to_json_dict()
+        assert doc["faults"]["transient_write_rate"] == 0.1
+        assert doc["faults"]["crash_times"] == [5.0]
