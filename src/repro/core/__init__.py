@@ -9,6 +9,9 @@ Public surface:
   firewall baseline (single queue, no recirculation).
 * :class:`~repro.core.hybrid.HybridLogManager` — the EL–FW hybrid sketched
   in the paper's concluding remarks.
+* :class:`~repro.core.sharded.ShardedLogManager` — N independent EL/FW
+  shards on their own disks with range routing and cross-shard group
+  commit (scale-out beyond one log disk's bandwidth).
 * Supporting structures: cells and per-generation circular doubly-linked
   lists, the LOT and LTT, block buffers with group commit, generations and
   the locality-aware flush scheduler.
@@ -27,6 +30,7 @@ from repro.core.lot import LoggedObjectTable, LotEntry
 from repro.core.ltt import LoggedTransactionTable, LttEntry, TxStatus
 from repro.core.memory import MemoryModel
 from repro.core.placement import LifetimePlacementPolicy
+from repro.core.sharded import ShardedLogManager
 from repro.core.sizing import SizingAdvice, recommend_generation_sizes
 
 __all__ = [
@@ -47,6 +51,7 @@ __all__ = [
     "LotEntry",
     "LttEntry",
     "MemoryModel",
+    "ShardedLogManager",
     "SizingAdvice",
     "TxStatus",
     "UnflushedHeadPolicy",

@@ -76,6 +76,8 @@ class EphemeralLogManager(LogManager):
         trace: TraceLog = NULL_TRACE,
         metrics: MetricsRegistry = NULL_METRICS,
         faults=NULL_FAULTS,
+        lsn_factory: Optional[Callable[[], int]] = None,
+        flush_span: Optional[Tuple[int, int]] = None,
     ):
         sizes = list(generation_sizes)
         if not sizes:
@@ -106,7 +108,10 @@ class EphemeralLogManager(LogManager):
             f"{source}.gap_blocks_processed", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
         )
 
-        self._next_lsn = next_lsn_factory()
+        # Shared across managers when several shards feed one logical log:
+        # LSNs must stay globally unique or recovery's per-LSN dedup would
+        # conflate records from different shards.
+        self._next_lsn = lsn_factory if lsn_factory is not None else next_lsn_factory()
         self.lot = LoggedObjectTable()
         self.ltt = LoggedTransactionTable()
         self.generations: List[Generation] = [
@@ -127,7 +132,14 @@ class EphemeralLogManager(LogManager):
         for generation in self.generations:
             generation.pre_reserve = self._pre_reserve_hook
 
-        partitioner = RangePartitioner(database.num_objects, flush_drives)
+        # A sharded log narrows ``flush_span`` to this manager's oid
+        # sub-range so all of its flush drives share the shard's load;
+        # the default spans the whole database.
+        span_lo, span_hi = flush_span if flush_span is not None else (
+            0,
+            database.num_objects,
+        )
+        partitioner = RangePartitioner(span_hi - span_lo, flush_drives, base=span_lo)
         self.scheduler = FlushScheduler(
             sim,
             database,

@@ -13,11 +13,17 @@ from repro.errors import ConfigurationError
 
 
 class RangePartitioner:
-    """Maps oids to drives and measures circular intra-drive distances."""
+    """Maps oids to drives and measures circular intra-drive distances.
 
-    __slots__ = ("num_objects", "num_drives", "range_size")
+    ``base`` shifts the partitioned span to ``[base, base + num_objects)``:
+    a sharded log hands each shard's flush scheduler a partitioner over the
+    shard's own oid sub-range, so all of the shard's drives share its load
+    instead of only the drives whose global range happens to overlap it.
+    """
 
-    def __init__(self, num_objects: int, num_drives: int):
+    __slots__ = ("num_objects", "num_drives", "range_size", "base")
+
+    def __init__(self, num_objects: int, num_drives: int, base: int = 0):
         if num_drives < 1:
             raise ConfigurationError(f"need >=1 drive, got {num_drives}")
         if num_objects < num_drives:
@@ -25,8 +31,11 @@ class RangePartitioner:
                 f"need at least one object per drive ({num_objects} objects, "
                 f"{num_drives} drives)"
             )
+        if base < 0:
+            raise ConfigurationError(f"base must be >= 0, got {base}")
         self.num_objects = num_objects
         self.num_drives = num_drives
+        self.base = base
         # The paper ignores the non-divisible case "for simplicity"; we give
         # the last drive the remainder instead of ignoring it.
         self.range_size = num_objects // num_drives
@@ -34,14 +43,18 @@ class RangePartitioner:
     def drive_of(self, oid: int) -> int:
         """Drive index holding ``oid``."""
         self._check_oid(oid)
-        return min(oid // self.range_size, self.num_drives - 1)
+        return min((oid - self.base) // self.range_size, self.num_drives - 1)
 
     def range_of(self, drive: int) -> tuple[int, int]:
         """Half-open oid interval ``[lo, hi)`` stored on ``drive``."""
         if not 0 <= drive < self.num_drives:
             raise ConfigurationError(f"drive {drive} out of range")
-        lo = drive * self.range_size
-        hi = (drive + 1) * self.range_size if drive < self.num_drives - 1 else self.num_objects
+        lo = self.base + drive * self.range_size
+        hi = (
+            self.base + (drive + 1) * self.range_size
+            if drive < self.num_drives - 1
+            else self.base + self.num_objects
+        )
         return lo, hi
 
     def distance(self, oid_a: int, oid_b: int) -> int:
@@ -61,13 +74,13 @@ class RangePartitioner:
         return min(diff, span - diff)
 
     def _check_oid(self, oid: int) -> None:
-        if not 0 <= oid < self.num_objects:
+        if not self.base <= oid < self.base + self.num_objects:
             raise ConfigurationError(
-                f"oid {oid} outside [0, {self.num_objects})"
+                f"oid {oid} outside [{self.base}, {self.base + self.num_objects})"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<RangePartitioner objects={self.num_objects} "
-            f"drives={self.num_drives} range={self.range_size}>"
+            f"drives={self.num_drives} range={self.range_size} base={self.base}>"
         )

@@ -53,6 +53,12 @@ class SimulationConfig:
     num_objects: int = constants.NUM_OBJECTS
     flush_drives: int = constants.FLUSH_DRIVES
     flush_write_seconds: float = constants.FLUSH_WRITE_SECONDS
+    #: Independent log shards, each a complete EL chain or FW log on its
+    #: own disk; updates are range-routed by object id and cross-shard
+    #: transactions commit via a per-shard vote table.  ``1`` is the
+    #: null-object default: the single-disk managers run unchanged (and,
+    #: being the default, the field is omitted from old fingerprints).
+    shards: int = 1
 
     payload_bytes: int = constants.BLOCK_PAYLOAD_BYTES
     buffer_count: int = constants.BUFFERS_PER_GENERATION
@@ -105,6 +111,17 @@ class SimulationConfig:
             raise ConfigurationError(
                 "fault injection is not supported for the hybrid manager "
                 "(it has no detection/self-healing hooks)"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and self.technique is Technique.HYBRID:
+            raise ConfigurationError(
+                "sharding supports the el and fw techniques, not hybrid"
+            )
+        if self.shards > self.num_objects:
+            raise ConfigurationError(
+                f"cannot range-partition {self.num_objects} objects over "
+                f"{self.shards} shards"
             )
 
     def to_json_dict(self) -> dict:

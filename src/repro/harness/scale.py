@@ -10,11 +10,18 @@ is for tests.  ``Scale.from_env()`` honours:
 * ``REPRO_FULL=1``      → paper scale,
 * ``REPRO_SMOKE=1``     → smoke scale,
 * ``REPRO_RUNTIME=<s>`` → quick scale with a custom simulated span.
+
+Setting both ``REPRO_FULL=1`` and ``REPRO_SMOKE=1`` is a contradiction and
+raises :class:`~repro.errors.ConfigurationError` — neither silently wins.
+A scale flag combined with ``REPRO_RUNTIME`` is merely redundant: the flag
+decides the scale (flags are explicit choices, the runtime is a tuning
+knob) and a ``UserWarning`` notes that the runtime was ignored.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -76,12 +83,31 @@ class Scale:
 
     @classmethod
     def from_env(cls) -> "Scale":
-        """Scale selected by environment variables (see module docstring)."""
-        if os.environ.get("REPRO_FULL") == "1":
-            return cls.paper()
-        if os.environ.get("REPRO_SMOKE") == "1":
-            return cls.smoke()
+        """Scale selected by environment variables (see module docstring).
+
+        Precedence: ``REPRO_FULL``/``REPRO_SMOKE`` (mutually exclusive,
+        both set raises), then ``REPRO_RUNTIME``, then the quick default.
+        """
+        full = os.environ.get("REPRO_FULL") == "1"
+        smoke = os.environ.get("REPRO_SMOKE") == "1"
         runtime = os.environ.get("REPRO_RUNTIME")
+        if full and smoke:
+            raise ConfigurationError(
+                "REPRO_FULL=1 and REPRO_SMOKE=1 are mutually exclusive; "
+                "unset one of them"
+            )
+        if (full or smoke) and runtime is not None:
+            warnings.warn(
+                f"REPRO_RUNTIME={runtime} is ignored because "
+                f"{'REPRO_FULL' if full else 'REPRO_SMOKE'}=1 selects a "
+                f"fixed scale",
+                UserWarning,
+                stacklevel=2,
+            )
+        if full:
+            return cls.paper()
+        if smoke:
+            return cls.smoke()
         if runtime is not None:
             return cls.quick(float(runtime))
         return cls.quick()

@@ -15,6 +15,7 @@ from repro.core.ephemeral import EphemeralLogManager
 from repro.core.firewall import FirewallLogManager
 from repro.core.hybrid import HybridLogManager
 from repro.core.placement import LifetimePlacementPolicy
+from repro.core.sharded import ShardedLogManager
 from repro.db.database import StableDatabase
 from repro.db.objects import ObjectVersion
 from repro.disk.block import BlockImage
@@ -41,13 +42,20 @@ class Simulation:
         self.database = StableDatabase(config.num_objects)
         self.obs = Observability(config.obs)
         self.manifest: Optional[RunManifest] = None
-        if config.faults is not None and config.faults.any_enabled:
+        if config.shards > 1:
+            # The sharded manager builds one injector per shard from the
+            # plan (substreams keyed ``shard{i}/...``); ``self.faults``
+            # becomes its aggregate view after construction.
+            self.faults = NULL_FAULTS
+        elif config.faults is not None and config.faults.any_enabled:
             self.faults = FaultInjector(
                 config.faults, self.rng, metrics=self.obs.metrics
             )
         else:
             self.faults = NULL_FAULTS
         self.manager = self._build_manager()
+        if config.shards > 1:
+            self.faults = self.manager.faults
         self.generator = WorkloadGenerator(
             self.sim,
             self.manager,
@@ -82,7 +90,9 @@ class Simulation:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build_manager(self) -> Union[EphemeralLogManager, HybridLogManager]:
+    def _build_manager(
+        self,
+    ) -> Union[EphemeralLogManager, HybridLogManager, ShardedLogManager]:
         config = self.config
         common = dict(
             flush_drives=config.flush_drives,
@@ -95,6 +105,21 @@ class Simulation:
             trace=self.obs.trace,
             metrics=self.obs.metrics,
         )
+        if config.shards > 1:
+            # config.__post_init__ restricts shards > 1 to el/fw.
+            return ShardedLogManager(
+                self.sim,
+                self.database,
+                shard_count=config.shards,
+                technique=config.technique.value,
+                generation_sizes=config.generation_sizes,
+                recirculation=config.recirculation,
+                unflushed_head_policy=config.unflushed_head_policy,
+                placement_boundaries=config.placement_boundaries,
+                fault_plan=config.faults,
+                rng=self.rng,
+                **common,
+            )
         if config.technique is Technique.FIREWALL:
             return FirewallLogManager(
                 self.sim,

@@ -72,6 +72,8 @@ EVENT_SCHEMA: Dict[str, set] = {
         "flush_requeue",
         "crash_check",
     },
+    # Sharded manager (cross-shard commit protocol).
+    "shard": {"cross_commit"},
     # Harness lifecycle markers.
     "run": {"begin", "end"},
 }

@@ -89,3 +89,108 @@ class TestDistance:
         drive = part.drive_of(oid)
         lo, hi = part.range_of(drive)
         assert lo <= oid < hi
+
+
+class TestRemainderGeometry:
+    """drive_of/range_of/distance must agree when the object count does not
+    divide evenly — the last drive absorbs the remainder and everything
+    else must treat its oversized range consistently."""
+
+    @given(
+        num_objects=st.integers(min_value=1, max_value=400),
+        num_drives=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_ranges_partition_the_object_space_exactly(
+        self, num_objects, num_drives
+    ):
+        if num_objects < num_drives:
+            return
+        part = RangePartitioner(num_objects, num_drives)
+        ranges = [part.range_of(d) for d in range(num_drives)]
+        # Contiguous, ordered, and covering [0, num_objects) with no gaps.
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == num_objects
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+        for lo, hi in ranges:
+            assert lo < hi
+
+    @given(
+        num_objects=st.integers(min_value=1, max_value=400),
+        num_drives=st.integers(min_value=1, max_value=20),
+        data=st.data(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_drive_of_agrees_with_range_of(self, num_objects, num_drives, data):
+        if num_objects < num_drives:
+            return
+        part = RangePartitioner(num_objects, num_drives)
+        oid = data.draw(st.integers(min_value=0, max_value=num_objects - 1))
+        drive = part.drive_of(oid)
+        lo, hi = part.range_of(drive)
+        assert lo <= oid < hi
+
+    @given(
+        num_objects=st.integers(min_value=2, max_value=400),
+        num_drives=st.integers(min_value=1, max_value=20),
+        data=st.data(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_distance_respects_the_oversized_last_range(
+        self, num_objects, num_drives, data
+    ):
+        if num_objects < num_drives:
+            return
+        part = RangePartitioner(num_objects, num_drives)
+        lo, hi = part.range_of(num_drives - 1)
+        oid_a = data.draw(st.integers(min_value=lo, max_value=hi - 1))
+        oid_b = data.draw(st.integers(min_value=lo, max_value=hi - 1))
+        span = hi - lo
+        distance = part.distance(oid_a, oid_b)
+        assert distance == part.distance(oid_b, oid_a)
+        assert 0 <= distance <= span // 2
+        assert part.distance(oid_a, oid_a) == 0
+
+
+class TestBaseOffset:
+    """A partitioner over a shard's sub-range [base, base + n)."""
+
+    def test_offset_ranges(self):
+        part = RangePartitioner(10, 3, base=100)  # [100, 110) over 3 drives
+        assert part.range_of(0) == (100, 103)
+        assert part.range_of(1) == (103, 106)
+        assert part.range_of(2) == (106, 110)
+        assert part.drive_of(100) == 0
+        assert part.drive_of(109) == 2
+
+    def test_offset_oid_bounds(self):
+        part = RangePartitioner(10, 2, base=50)
+        with pytest.raises(ConfigurationError):
+            part.drive_of(49)
+        with pytest.raises(ConfigurationError):
+            part.drive_of(60)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner(10, 2, base=-1)
+
+    @given(
+        num_objects=st.integers(min_value=1, max_value=300),
+        num_drives=st.integers(min_value=1, max_value=12),
+        base=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_offset_is_a_pure_translation(
+        self, num_objects, num_drives, base, data
+    ):
+        if num_objects < num_drives:
+            return
+        plain = RangePartitioner(num_objects, num_drives)
+        shifted = RangePartitioner(num_objects, num_drives, base=base)
+        oid = data.draw(st.integers(min_value=0, max_value=num_objects - 1))
+        assert shifted.drive_of(base + oid) == plain.drive_of(oid)
+        drive = plain.drive_of(oid)
+        lo, hi = plain.range_of(drive)
+        assert shifted.range_of(drive) == (lo + base, hi + base)

@@ -26,25 +26,59 @@ class TestScale:
         with pytest.raises(ConfigurationError):
             Scale("x", 10.0, (), (18,), 1)
 
+    @staticmethod
+    def _clear_env(monkeypatch):
+        for var in ("REPRO_FULL", "REPRO_SMOKE", "REPRO_RUNTIME"):
+            monkeypatch.delenv(var, raising=False)
+
     def test_from_env_full(self, monkeypatch):
+        self._clear_env(monkeypatch)
         monkeypatch.setenv("REPRO_FULL", "1")
         assert Scale.from_env().label == "paper"
 
     def test_from_env_smoke(self, monkeypatch):
-        monkeypatch.delenv("REPRO_FULL", raising=False)
+        self._clear_env(monkeypatch)
         monkeypatch.setenv("REPRO_SMOKE", "1")
         assert Scale.from_env().label == "smoke"
 
     def test_from_env_runtime(self, monkeypatch):
-        monkeypatch.delenv("REPRO_FULL", raising=False)
-        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        self._clear_env(monkeypatch)
         monkeypatch.setenv("REPRO_RUNTIME", "77")
         assert Scale.from_env().runtime == 77.0
 
     def test_from_env_default_quick(self, monkeypatch):
-        for var in ("REPRO_FULL", "REPRO_SMOKE", "REPRO_RUNTIME"):
-            monkeypatch.delenv(var, raising=False)
+        self._clear_env(monkeypatch)
         assert Scale.from_env().label.startswith("quick")
+
+    def test_from_env_full_and_smoke_conflict(self, monkeypatch):
+        self._clear_env(monkeypatch)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            Scale.from_env()
+
+    def test_from_env_flag_zero_is_unset(self, monkeypatch):
+        # "0" means off, so FULL=0 + SMOKE=1 is not a conflict.
+        self._clear_env(monkeypatch)
+        monkeypatch.setenv("REPRO_FULL", "0")
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert Scale.from_env().label == "smoke"
+
+    def test_from_env_full_wins_over_runtime_with_warning(self, monkeypatch):
+        self._clear_env(monkeypatch)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_RUNTIME", "77")
+        with pytest.warns(UserWarning, match="REPRO_RUNTIME=77 is ignored"):
+            assert Scale.from_env().label == "paper"
+
+    def test_from_env_smoke_wins_over_runtime_with_warning(self, monkeypatch):
+        self._clear_env(monkeypatch)
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        monkeypatch.setenv("REPRO_RUNTIME", "77")
+        with pytest.warns(UserWarning, match="REPRO_RUNTIME=77 is ignored"):
+            scale = Scale.from_env()
+        assert scale.label == "smoke"
+        assert scale.runtime == 25.0
 
 
 class TestSweepCache:
