@@ -45,7 +45,7 @@ from repro.obs.events import event_time_span
 from repro.obs.manifest import RunManifest
 from repro.recovery.single_pass import SinglePassRecovery
 from repro.recovery.verify import RecoveryVerifier
-from repro.workload.spec import paper_mix
+from repro.workload.spec import SkewSpec, paper_mix
 
 
 def _version() -> str:
@@ -79,6 +79,47 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _skew_spec(text: str) -> SkewSpec:
+    """argparse type for --skew HOT_FRACTION:HOT_PROBABILITY (e.g. 0.01:0.9)."""
+    try:
+        return SkewSpec.parse(text)
+    except Exception as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for options that must be > 0 (durations, rates)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a value > 0, got {value}")
+    return value
+
+
+def _port(text: str) -> int:
+    """argparse type for a connectable TCP port (1-65535)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 1 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"port must be in 1..65535, got {value}")
+    return value
+
+
+def _listen_port(text: str) -> int:
+    """argparse type for a listening port (0 = OS-assigned ephemeral)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"port must be in 0..65535, got {value}")
+    return value
+
+
 def _base_config(args: argparse.Namespace) -> SimulationConfig:
     technique = Technique(args.technique)
     sizes = _parse_sizes(args.sizes)
@@ -95,6 +136,7 @@ def _base_config(args: argparse.Namespace) -> SimulationConfig:
         seed=args.seed,
         flush_write_seconds=args.flush_ms / 1000.0,
         shards=getattr(args, "shards", 1),
+        skew=getattr(args, "skew", None),
     )
 
 
@@ -122,6 +164,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="independent log shards with cross-shard group commit "
         "(default: 1, the single-disk managers)",
+    )
+    parser.add_argument(
+        "--skew",
+        type=_skew_spec,
+        default=None,
+        metavar="FRAC:PROB",
+        help="hot-set oid skew, e.g. 0.01:0.9 = 90%% of updates hit the "
+        "hottest 1%% of objects (default: the paper's uniform draw)",
     )
 
 
@@ -411,6 +461,92 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live append/commit service until SIGTERM or --duration."""
+    import asyncio
+
+    from repro.live.server import LiveServer
+
+    server = LiveServer(
+        args.log_dir,
+        technique=args.technique,
+        generation_sizes=_parse_sizes(args.sizes),
+        shards=args.shards,
+        recirculation=not args.no_recirculation,
+        host=args.host,
+        port=args.port,
+        num_objects=args.num_objects,
+        max_inflight=args.max_inflight,
+        group_commit_seconds=args.group_commit_ms / 1000.0,
+        flush_drives=args.flush_drives,
+        flush_write_seconds=args.flush_ms / 1000.0,
+        fsync=not args.no_fsync,
+    )
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(server.run(duration=args.duration))
+        # Wait for the listener so the port announcement is accurate.
+        while server._server is None and not task.done():
+            await asyncio.sleep(0.01)
+        if not task.done():
+            print(
+                f"serving {args.technique} on {server.host}:{server.port} "
+                f"(log dir {server.log_dir})",
+                flush=True,
+            )
+        await task
+
+    asyncio.run(_serve())
+    counters = server.counters()
+    print(f"begun                : {counters['server.begins']}")
+    print(f"commits acked        : {counters['server.commits_acked']}")
+    print(f"aborted              : {counters['server.aborts']}")
+    print(f"killed               : {counters['server.kills']}")
+    print(f"rejected             : {counters['server.rejections']}")
+    print(f"log blocks written   : {counters.get('log.blocks_written', 0)}")
+    print(f"log fsyncs           : {counters.get('log.fsyncs', 0)}")
+    print(f"manifest             : {server.log_dir / 'server-manifest.json'}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a live server with a closed-loop workload and report latency."""
+    import asyncio
+
+    from repro.live.loadgen import LoadGenerator
+
+    gen = LoadGenerator(
+        args.host,
+        args.port,
+        duration=args.duration,
+        target_tps=args.tps,
+        connections=args.connections,
+        updates_per_tx=args.updates_per_tx,
+        update_size_bytes=args.size,
+        num_objects=args.num_objects,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    report = asyncio.run(gen.run())
+    pcts = report.commit_latency.percentiles()
+
+    def fmt(value):
+        return f"{value * 1000:.2f} ms" if value is not None else "n/a"
+
+    print(f"duration             : {report.duration:.2f}s")
+    print(f"committed            : {report.committed} ({report.tps:.1f} TPS)")
+    print(f"killed               : {report.killed}")
+    print(f"rejected             : {report.rejected}")
+    print(f"errors               : {report.errors} "
+          f"({report.protocol_errors} protocol)")
+    print(f"commit latency       : p50 {fmt(pcts['p50'])}, "
+          f"p95 {fmt(pcts['p95'])}, p99 {fmt(pcts['p99'])}")
+    if args.manifest:
+        gen.write_manifest(args.manifest)
+        print(f"manifest             : {args.manifest}")
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = SweepCache()
     if args.action == "clear":
@@ -523,6 +659,111 @@ def build_parser() -> argparse.ArgumentParser:
     advise_parser.add_argument("--validate", action="store_true")
     advise_parser.add_argument("--runtime", type=float, default=60.0)
     advise_parser.set_defaults(func=_cmd_advise)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the live append/commit service (real time, real files)"
+    )
+    serve_parser.add_argument(
+        "--technique", choices=["el", "fw"], default="el"
+    )
+    serve_parser.add_argument(
+        "--sizes",
+        default="128,128",
+        help="generation sizes in blocks (FW uses the first); live default "
+        "128,128 = 1 MB of preallocated log per shard",
+    )
+    serve_parser.add_argument("--no-recirculation", action="store_true")
+    serve_parser.add_argument("--shards", type=_positive_int, default=1)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=_listen_port,
+        default=0,
+        help="listening port (default 0: OS-assigned, printed at startup)",
+    )
+    serve_parser.add_argument(
+        "--log-dir",
+        default="results/live",
+        help="directory for the preallocated log files, database and manifest",
+    )
+    serve_parser.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=None,
+        help="serve for this many seconds then drain (default: until SIGTERM)",
+    )
+    serve_parser.add_argument(
+        "--num-objects", type=_positive_int, default=1_000_000
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=256,
+        help="admission limit on begun-but-unresolved transactions",
+    )
+    serve_parser.add_argument(
+        "--group-commit-ms",
+        type=_positive_float,
+        default=5.0,
+        help="group-commit deadline: open buffers holding pending commits "
+        "are sealed after this long (ms)",
+    )
+    serve_parser.add_argument("--flush-drives", type=_positive_int, default=10)
+    serve_parser.add_argument(
+        "--flush-ms",
+        type=_positive_float,
+        default=2.0,
+        help="modelled per-flush transfer time (ms); live default 2 ms "
+        "(SSD-class) instead of the paper's 25 ms",
+    )
+    serve_parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on log writes (crash-unsafe; benchmarking only)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen", help="closed-loop load generator for a live server"
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=_port, required=True)
+    loadgen_parser.add_argument(
+        "--duration", type=_positive_float, default=10.0
+    )
+    loadgen_parser.add_argument(
+        "--tps",
+        type=_positive_float,
+        default=200.0,
+        help="target aggregate transaction rate",
+    )
+    loadgen_parser.add_argument(
+        "--connections", type=_positive_int, default=8
+    )
+    loadgen_parser.add_argument(
+        "--updates-per-tx", type=_positive_int, default=2
+    )
+    loadgen_parser.add_argument(
+        "--size", type=_positive_int, default=100, help="update size in bytes"
+    )
+    loadgen_parser.add_argument(
+        "--num-objects",
+        type=_positive_int,
+        default=1_000_000,
+        help="oid space to draw from (must not exceed the server's)",
+    )
+    loadgen_parser.add_argument(
+        "--skew",
+        type=_skew_spec,
+        default=None,
+        metavar="FRAC:PROB",
+        help="hot-set oid skew, e.g. 0.01:0.9 (default: uniform)",
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=1)
+    loadgen_parser.add_argument(
+        "--manifest", default=None, help="write a run manifest to this path"
+    )
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
 
     cache_parser = sub.add_parser("cache", help="inspect or clear the sweep cache")
     cache_parser.add_argument("action", choices=["list", "clear"])

@@ -101,6 +101,13 @@ class Generation:
         self.on_write_failed: Optional[WriteFailedCallback] = None
         #: Hook fired when a durable block decays (latent sector error).
         self.on_latent_fault: Optional[LatentFaultCallback] = None
+        #: Optional physical block store (live mode).  When set, sealed
+        #: blocks are handed to ``store.write_block`` — which persists the
+        #: image and invokes the completion when genuinely durable — instead
+        #: of modelling the write with a simulated delay.  Everything else
+        #: (accounting, durability bookkeeping, group commit) is shared
+        #: byte-for-byte between sim and live modes.
+        self.store = None
 
         #: Sealed content per slot (the LM's view of the block).
         self.logical: Dict[int, BlockImage] = {}
@@ -301,7 +308,14 @@ class Generation:
                     "bytes": image.payload_used,
                 },
             )
-        self.sim.after(self.write_seconds, self._write_landed, buffer, image, slot, 0)
+        if self.store is not None:
+            self.store.write_block(
+                image, lambda: self._write_landed(buffer, image, slot, 0)
+            )
+        else:
+            self.sim.after(
+                self.write_seconds, self._write_landed, buffer, image, slot, 0
+            )
 
     def _write_landed(
         self, buffer: BlockBuffer, image: BlockImage, slot: int, attempt: int

@@ -54,6 +54,7 @@ from repro.disk.partition import RangePartitioner
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injector import NULL_FAULTS, FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.metrics.hist import LatencyHistogram
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.records.base import next_lsn_factory
 from repro.sim.engine import Simulator
@@ -599,6 +600,28 @@ class ShardedLogManager(LogManager):
                         f"LTT entry there"
                     )
 
+    def merged_metric_histogram(self, suffix: str) -> Optional[LatencyHistogram]:
+        """The cross-shard distribution of a per-shard histogram metric.
+
+        Per-shard metrics are registered under ``s{i}.<suffix>`` (see
+        :class:`_PrefixedMetrics`); this folds the N per-shard histograms
+        into one mergeable distribution, so sharded runs report e.g. a
+        single flush-settle latency histogram whose percentiles reflect
+        every shard's flushes.  ``None`` when metrics are disabled or no
+        shard has registered the metric.
+        """
+        if not self.metrics.enabled:
+            return None
+        snapshots = self.metrics.snapshot()
+        parts = []
+        for index in range(self.shard_count):
+            data = snapshots.get(f"s{index}.{suffix}")
+            if data is not None and data.get("type") == "histogram":
+                parts.append(LatencyHistogram.from_snapshot(data))
+        if not parts:
+            return None
+        return LatencyHistogram.merged(parts)
+
     def counters_snapshot(self) -> Dict[str, object]:
         """Aggregate counters plus the per-shard breakdown (for manifests)."""
         snapshot: Dict[str, object] = {
@@ -619,6 +642,11 @@ class ShardedLogManager(LogManager):
             "flush": self.scheduler.counters_snapshot(),
             "per_shard": [s.counters_snapshot() for s in self._shards],
         }
+        settle = self.merged_metric_histogram("flush.settle_seconds")
+        if settle is not None:
+            # One distribution across every shard's flushes (the per-shard
+            # metric snapshots stay available in the registry).
+            snapshot["flush"]["settle_seconds"] = settle.snapshot()
         if self.faults.enabled:
             snapshot["faults"] = self.fault_report()
         return snapshot

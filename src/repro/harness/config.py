@@ -20,7 +20,7 @@ from repro.core.killpolicy import KillPolicy
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.obs import ObsConfig
-from repro.workload.spec import WorkloadMix, paper_mix
+from repro.workload.spec import SkewSpec, WorkloadMix, paper_mix
 
 
 class Technique(enum.Enum):
@@ -82,6 +82,10 @@ class SimulationConfig:
     #: behaviour and is therefore part of the fingerprint (the default
     #: ``None`` is omitted, so pre-fault fingerprints are unchanged).
     faults: Optional[FaultPlan] = None
+    #: Hot-set access skew for oid selection; ``None`` keeps the paper's
+    #: uniform draw byte-identical (and, being the default, omitted from
+    #: old fingerprints).
+    skew: Optional[SkewSpec] = None
 
     def __post_init__(self) -> None:
         if not self.generation_sizes:

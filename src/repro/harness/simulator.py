@@ -72,6 +72,7 @@ class Simulation:
             epsilon=config.epsilon,
             lifetime_hints=config.placement_boundaries is not None,
             collect_truth=config.collect_truth,
+            skew=config.skew,
         )
         self.sampler = PeriodicSampler(self.sim, config.sample_period)
         self.sampler.add_probe("memory_bytes", self.manager.memory_bytes)

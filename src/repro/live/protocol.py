@@ -1,0 +1,176 @@
+"""Length-prefixed binary protocol for the live append/commit service.
+
+Every frame is a little-endian ``u32`` byte length followed by the body;
+the first body byte is the operation code, shared between requests and
+their responses.  Four operations mirror the ``LogManager`` interface:
+
+==========  =======================================  ==============================
+op          request body                             response body
+==========  =======================================  ==============================
+BEGIN  (1)  client_ref u32                           status u8, client_ref u32, tid u64
+UPDATE (2)  tid u64, oid u64, value i64, size u32    status u8, tid u64, lsn u64, timestamp f64
+COMMIT (3)  tid u64                                  status u8, tid u64, ack_time f64
+ABORT  (4)  tid u64                                  status u8, tid u64
+==========  =======================================  ==============================
+
+``timestamp`` in the UPDATE response is the *record's* timestamp — the
+exact value recovery will read back from disk — so a client can assemble
+byte-accurate ground truth for crash verification.  COMMIT responses are
+deferred until the group-commit durability callback fires; every other
+response is immediate.  ``status`` is OK, REJECTED (admission control or
+drain), KILLED (the manager killed the transaction to reclaim log space),
+or ERROR.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+OP_BEGIN = 1
+OP_UPDATE = 2
+OP_COMMIT = 3
+OP_ABORT = 4
+
+STATUS_OK = 0
+STATUS_REJECTED = 1
+STATUS_KILLED = 2
+STATUS_ERROR = 3
+
+STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_REJECTED: "rejected",
+    STATUS_KILLED: "killed",
+    STATUS_ERROR: "error",
+}
+
+#: Refuse frames beyond this size: the largest legal body is tens of bytes.
+MAX_FRAME_BYTES = 4096
+
+_LENGTH = struct.Struct("<I")
+_OP = struct.Struct("<B")
+
+_REQ_BEGIN = struct.Struct("<BI")
+_REQ_UPDATE = struct.Struct("<BQQqI")
+_REQ_TID = struct.Struct("<BQ")  # COMMIT and ABORT
+
+_RESP_BEGIN = struct.Struct("<BBIQ")
+_RESP_UPDATE = struct.Struct("<BBQQd")
+_RESP_COMMIT = struct.Struct("<BBQd")
+_RESP_ABORT = struct.Struct("<BBQ")
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-contract frame."""
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+def encode_begin(client_ref: int) -> bytes:
+    return _REQ_BEGIN.pack(OP_BEGIN, client_ref)
+
+
+def encode_update(tid: int, oid: int, value: int, size: int) -> bytes:
+    return _REQ_UPDATE.pack(OP_UPDATE, tid, oid, value, size)
+
+
+def encode_commit(tid: int) -> bytes:
+    return _REQ_TID.pack(OP_COMMIT, tid)
+
+
+def encode_abort(tid: int) -> bytes:
+    return _REQ_TID.pack(OP_ABORT, tid)
+
+
+def decode_request(body: bytes) -> Tuple:
+    """Parse a request body into ``(op, ...fields)``."""
+    if not body:
+        raise ProtocolError("empty request frame")
+    op = body[0]
+    try:
+        if op == OP_BEGIN:
+            _, client_ref = _REQ_BEGIN.unpack(body)
+            return (OP_BEGIN, client_ref)
+        if op == OP_UPDATE:
+            _, tid, oid, value, size = _REQ_UPDATE.unpack(body)
+            return (OP_UPDATE, tid, oid, value, size)
+        if op in (OP_COMMIT, OP_ABORT):
+            _, tid = _REQ_TID.unpack(body)
+            return (op, tid)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed request for op {op}: {exc}") from exc
+    raise ProtocolError(f"unknown request op {op}")
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+def encode_begin_ok(status: int, client_ref: int, tid: int) -> bytes:
+    return _RESP_BEGIN.pack(OP_BEGIN, status, client_ref, tid)
+
+
+def encode_update_ok(status: int, tid: int, lsn: int, timestamp: float) -> bytes:
+    return _RESP_UPDATE.pack(OP_UPDATE, status, tid, lsn, timestamp)
+
+
+def encode_commit_ok(status: int, tid: int, ack_time: float) -> bytes:
+    return _RESP_COMMIT.pack(OP_COMMIT, status, tid, ack_time)
+
+
+def encode_abort_ok(status: int, tid: int) -> bytes:
+    return _RESP_ABORT.pack(OP_ABORT, status, tid)
+
+
+def decode_response(body: bytes) -> Tuple:
+    """Parse a response body into ``(op, status, ...fields)``."""
+    if not body:
+        raise ProtocolError("empty response frame")
+    op = body[0]
+    try:
+        if op == OP_BEGIN:
+            _, status, client_ref, tid = _RESP_BEGIN.unpack(body)
+            return (OP_BEGIN, status, client_ref, tid)
+        if op == OP_UPDATE:
+            _, status, tid, lsn, timestamp = _RESP_UPDATE.unpack(body)
+            return (OP_UPDATE, status, tid, lsn, timestamp)
+        if op == OP_COMMIT:
+            _, status, tid, ack_time = _RESP_COMMIT.unpack(body)
+            return (OP_COMMIT, status, tid, ack_time)
+        if op == OP_ABORT:
+            _, status, tid = _RESP_ABORT.unpack(body)
+            return (OP_ABORT, status, tid)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed response for op {op}: {exc}") from exc
+    raise ProtocolError(f"unknown response op {op}")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def write_frame(writer: asyncio.StreamWriter, body: bytes) -> None:
+    """Queue one frame on the transport (no flush; callers drain per turn)."""
+    writer.write(_LENGTH.pack(len(body)) + body)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-frame") from exc
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} outside (0, {MAX_FRAME_BYTES}]")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc

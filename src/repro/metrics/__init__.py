@@ -2,5 +2,13 @@
 
 from repro.metrics.series import PeriodicSampler, TimeSeries
 from repro.metrics.report import format_table, format_series
+from repro.metrics.hist import LATENCY_BUCKETS, LatencyHistogram
 
-__all__ = ["PeriodicSampler", "TimeSeries", "format_table", "format_series"]
+__all__ = [
+    "PeriodicSampler",
+    "TimeSeries",
+    "format_table",
+    "format_series",
+    "LatencyHistogram",
+    "LATENCY_BUCKETS",
+]

@@ -1,0 +1,192 @@
+"""Mergeable fixed-bucket latency histogram with percentile estimation.
+
+The observability layer's :class:`repro.obs.metrics.Histogram` is a write-only
+recording surface: components observe into it and the registry snapshots it
+into manifests.  Two consumers need more than that:
+
+* the live load generator reports p50/p95/p99 commit latency, and
+* the sharded aggregate facade wants one cross-shard settle-latency
+  distribution merged from the per-shard ``s{i}.flush.settle_seconds``
+  histograms.
+
+Both reduce to the same primitive — a fixed-bucket histogram that can be
+*merged* with siblings sharing the same bucket geometry and queried for
+interpolated percentiles.  This module provides it, plus a bridge from the
+obs-layer snapshot dictionaries so already-recorded histograms can be merged
+without re-observing raw samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default bucket upper bounds for commit/settle latencies, in seconds.
+#: Log-spaced from 0.5 ms to 60 s: fine enough to separate a 5 ms group
+#: commit from a 15 ms disk write, wide enough for multi-second stalls.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram supporting merge and percentile interpolation.
+
+    ``bounds`` are inclusive upper bounds; observations above the last bound
+    land in an implicit overflow bucket, so ``counts`` always has
+    ``len(bounds) + 1`` entries.  The bucket geometry is deliberately
+    compatible with :class:`repro.obs.metrics.Histogram` (same inclusive
+    upper-bound semantics, same snapshot shape) so the two interoperate via
+    :meth:`from_snapshot`.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKETS):
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ConfigurationError("latency histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"latency histogram bounds must be strictly increasing: {bounds}"
+            )
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording and merging
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram in place; returns ``self``."""
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, n in enumerate(other.counts):
+            self.counts[index] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    @classmethod
+    def merged(cls, histograms: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """Merge an iterable of histograms into a fresh one.
+
+        An empty iterable yields an empty histogram with the default bounds.
+        """
+        result: Optional[LatencyHistogram] = None
+        for hist in histograms:
+            if result is None:
+                result = cls(hist.bounds)
+            result.merge(hist)
+        return result if result is not None else cls()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "LatencyHistogram":
+        """Rehydrate from a :meth:`repro.obs.metrics.Histogram.snapshot` dict."""
+        hist = cls(snapshot["buckets"])
+        bucket_counts = list(snapshot["bucket_counts"])
+        if len(bucket_counts) != len(hist.counts):
+            raise ConfigurationError(
+                f"snapshot has {len(bucket_counts)} bucket counts for "
+                f"{len(hist.bounds)} bounds (expected {len(hist.counts)})"
+            )
+        hist.counts = bucket_counts
+        hist.count = snapshot["count"]
+        hist.total = snapshot["total"]
+        hist.min = snapshot.get("min")
+        hist.max = snapshot.get("max")
+        if hist.count != sum(bucket_counts):
+            raise ConfigurationError(
+                f"snapshot count {hist.count} != bucket sum {sum(bucket_counts)}"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-th percentile (``0 < q <= 100``).
+
+        The estimate interpolates linearly within the bucket containing the
+        target rank: the first bucket spans ``[0, bounds[0]]``, interior
+        buckets span ``(bounds[i-1], bounds[i]]``, and the overflow bucket
+        spans up to the observed maximum.  The result is clamped into the
+        observed ``[min, max]`` range.  Returns ``None`` when empty.
+        """
+        if not 0.0 < q <= 100.0:
+            raise ConfigurationError(f"percentile must be in (0, 100], got {q}")
+        if self.count == 0:
+            return None
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        for index, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = 0.0 if index == 0 else self.bounds[index - 1]
+                if index < len(self.bounds):
+                    hi = self.bounds[index]
+                else:  # overflow bucket: top out at the observed maximum
+                    hi = self.max if self.max is not None else self.bounds[-1]
+                    hi = max(hi, lo)
+                fraction = (target - cumulative) / n
+                value = lo + fraction * (hi - lo)
+                if self.min is not None:
+                    value = max(value, self.min)
+                if self.max is not None:
+                    value = min(value, self.max)
+                return value
+            cumulative += n
+        # Unreachable when count == sum(counts); defend against drift anyway.
+        return self.max  # pragma: no cover
+
+    def percentiles(self, qs: Sequence[float] = (50.0, 95.0, 99.0)) -> Dict[str, Optional[float]]:
+        """Convenience: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    def snapshot(self) -> dict:
+        """Same shape as the obs-layer histogram snapshot, plus percentiles."""
+        snap = {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.bounds),
+            "bucket_counts": list(self.counts),
+        }
+        snap.update(self.percentiles())
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LatencyHistogram n={self.count} mean={self.mean:.4f}>"

@@ -80,6 +80,7 @@ class WorkloadGenerator:
         epsilon: float = EPSILON_SECONDS,
         lifetime_hints: bool = False,
         collect_truth: bool = True,
+        skew=None,
     ):
         if runtime <= 0:
             raise WorkloadError(f"runtime must be positive, got {runtime}")
@@ -95,7 +96,7 @@ class WorkloadGenerator:
         self.arrivals = arrivals or DeterministicArrivals(arrival_rate)
         self._type_rng = rng.stream("tx-type")
         self._arrival_rng = rng.stream("arrivals")
-        self.oid_chooser = OidChooser(num_objects, rng.stream("oids"))
+        self.oid_chooser = OidChooser(num_objects, rng.stream("oids"), skew=skew)
         self._weights = mix.weights
         self._next_tid = itertools.count(1)
         self._next_value = itertools.count(1)

@@ -3,28 +3,66 @@
 "Whenever a transaction writes a data log record, we randomly pick some
 integer for the oid, subject to the constraint that the number has not
 already been chosen for an update by a transaction which is still active."
+
+An optional :class:`~repro.workload.spec.SkewSpec` replaces the uniform
+draw with a hot-set distribution; with skew disabled the chooser consumes
+the rng in exactly the same sequence as before, so unskewed runs remain
+byte-identical to the paper configuration.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 from repro.errors import WorkloadError
+from repro.workload.spec import SkewSpec
+
+#: Consecutive skewed rejections before falling back to a uniform draw.
+#: With ``hot_probability == 1.0`` and every hot oid held by an active
+#: transaction, the skewed loop would spin forever; the fallback keeps the
+#: exclusivity guarantee live at the cost of a momentarily cold pick.
+_SKEW_REJECTION_LIMIT = 256
 
 
 class OidChooser:
-    """Uniform oid selection excluding oids held by active transactions."""
+    """Random oid selection excluding oids held by active transactions.
 
-    def __init__(self, num_objects: int, rng: random.Random):
+    Uniform by default; hot-set skewed when ``skew`` is given.  The hot set
+    is the contiguous prefix ``[0, hot_count)`` of the oid space — contiguous
+    so range-partitioned flushing and sharding see the skew as real locality
+    pressure rather than a scattered approximation of it.
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        rng: random.Random,
+        skew: Optional[SkewSpec] = None,
+    ):
         if num_objects < 1:
             raise WorkloadError(f"need >=1 object, got {num_objects}")
+        if skew is not None and num_objects < 2:
+            raise WorkloadError(
+                f"skewed selection needs >=2 objects, got {num_objects}"
+            )
         self.num_objects = num_objects
         self._rng = rng
+        self.skew = skew
+        if skew is not None:
+            # At least one hot and one cold oid, whatever the fraction.
+            self.hot_count = min(
+                max(1, round(num_objects * skew.hot_fraction)), num_objects - 1
+            )
+        else:
+            self.hot_count = 0
         self._in_use: set[int] = set()
         self.rejections = 0
+        self.hot_picks = 0
+        self.cold_picks = 0
 
     def acquire(self) -> int:
-        """Pick a uniformly random oid not currently held by an active tx.
+        """Pick a random oid not currently held by an active tx.
 
         Rejection sampling: with 10^7 objects and a few hundred concurrently
         held oids, retries are vanishingly rare; a guard still bounds the
@@ -32,12 +70,39 @@ class OidChooser:
         """
         if len(self._in_use) >= self.num_objects:
             raise WorkloadError("all oids are held by active transactions")
+        if self.skew is None:
+            while True:
+                oid = self._rng.randrange(self.num_objects)
+                if oid not in self._in_use:
+                    self._in_use.add(oid)
+                    return oid
+                self.rejections += 1
+        return self._acquire_skewed()
+
+    def _acquire_skewed(self) -> int:
+        skew = self.skew
+        rejected = 0
         while True:
-            oid = self._rng.randrange(self.num_objects)
+            if rejected >= _SKEW_REJECTION_LIMIT:
+                oid = self._rng.randrange(self.num_objects)
+                hot = oid < self.hot_count
+            elif self._rng.random() < skew.hot_probability:
+                oid = self._rng.randrange(self.hot_count)
+                hot = True
+            else:
+                oid = self.hot_count + self._rng.randrange(
+                    self.num_objects - self.hot_count
+                )
+                hot = False
             if oid not in self._in_use:
                 self._in_use.add(oid)
+                if hot:
+                    self.hot_picks += 1
+                else:
+                    self.cold_picks += 1
                 return oid
             self.rejections += 1
+            rejected += 1
 
     def release(self, oid: int) -> None:
         """Return an oid once its transaction is no longer active."""

@@ -43,6 +43,47 @@ class TransactionType:
             raise WorkloadError(f"{self.name}: record_bytes must be positive")
 
 
+@dataclass(frozen=True)
+class SkewSpec:
+    """Hot-set access skew for oid selection.
+
+    The paper draws oids uniformly over the object space; real workloads
+    concentrate updates on a small working set.  This spec models the
+    standard hot/cold approximation of a Zipfian popularity curve: a
+    ``hot_fraction`` prefix of the oid space receives ``hot_probability``
+    of all picks (e.g. ``0.01:0.9`` — 90% of updates hit 1% of objects).
+    Selection within each region stays uniform, so the active-oid
+    exclusivity constraint is preserved unchanged.
+    """
+
+    hot_fraction: float
+    hot_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise WorkloadError(
+                f"skew hot_fraction must be in (0,1), got {self.hot_fraction}"
+            )
+        if not 0.0 < self.hot_probability <= 1.0:
+            raise WorkloadError(
+                f"skew hot_probability must be in (0,1], got {self.hot_probability}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "SkewSpec":
+        """Parse the CLI form ``FRACTION:PROBABILITY`` (e.g. ``0.01:0.9``)."""
+        parts = text.split(":")
+        if len(parts) != 2:
+            raise WorkloadError(
+                f"skew spec must look like HOT_FRACTION:HOT_PROBABILITY, got {text!r}"
+            )
+        try:
+            fraction, probability = float(parts[0]), float(parts[1])
+        except ValueError as exc:
+            raise WorkloadError(f"skew spec {text!r} is not numeric") from exc
+        return cls(hot_fraction=fraction, hot_probability=probability)
+
+
 class WorkloadMix:
     """A validated collection of transaction types forming a pdf."""
 

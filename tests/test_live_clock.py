@@ -1,0 +1,138 @@
+"""Tests for the wall-clock scheduler behind the live backend."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.live.clock import RealTimeScheduler
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestScheduling:
+    def test_same_timestamp_fires_in_fifo_order(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            fired = []
+            deadline = sched.now + 0.02
+            for index in range(5):
+                sched.at(deadline, fired.append, index)
+            await asyncio.sleep(0.08)
+            sched.close()
+            return fired
+
+        assert run(scenario()) == [0, 1, 2, 3, 4]
+
+    def test_interleaved_at_and_after_keep_time_order(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            fired = []
+            sched.after(0.03, fired.append, "late")
+            sched.after(0.01, fired.append, "early")
+            sched.at(sched.now + 0.02, fired.append, "middle")
+            await asyncio.sleep(0.1)
+            sched.close()
+            return fired
+
+        assert run(scenario()) == ["early", "middle", "late"]
+
+    def test_past_deadline_clamps_and_still_fires(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            fired = []
+            sched.at(sched.now - 5.0, fired.append, "clamped")
+            await asyncio.sleep(0.05)
+            sched.close()
+            return fired
+
+        assert run(scenario()) == ["clamped"]
+
+    def test_negative_delay_raises(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            with pytest.raises(SchedulingError):
+                sched.after(-0.001, lambda: None)
+            sched.close()
+
+        run(scenario())
+
+    def test_cancelled_event_never_fires(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            fired = []
+            handle = sched.after(0.01, fired.append, "cancelled")
+            sched.after(0.01, fired.append, "kept")
+            assert handle.cancel()
+            await asyncio.sleep(0.06)
+            sched.close()
+            return fired
+
+        assert run(scenario()) == ["kept"]
+
+    def test_callbacks_scheduled_from_callbacks_fire(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            fired = []
+
+            def outer():
+                fired.append("outer")
+                sched.after(0.01, fired.append, "inner")
+
+            sched.after(0.01, outer)
+            await asyncio.sleep(0.08)
+            sched.close()
+            return fired
+
+        assert run(scenario()) == ["outer", "inner"]
+
+
+class TestStepAndIntrospection:
+    def test_step_executes_only_due_events(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            fired = []
+            sched.after(0.0, fired.append, "due")
+            sched.after(30.0, fired.append, "future")
+            # The zero-delay event is due immediately; the future one is not.
+            assert sched.step() is True
+            assert sched.step() is False
+            sched.close()
+            return fired
+
+        assert run(scenario()) == ["due"]
+
+    def test_counters_and_snapshot(self):
+        async def scenario():
+            sched = RealTimeScheduler(asyncio.get_running_loop())
+            sched.after(0.005, lambda: None)
+            sched.after(10.0, lambda: None)
+            assert sched.pending_events == 2
+            assert sched.peek_time() is not None
+            await asyncio.sleep(0.03)
+            snap = sched.snapshot()
+            assert snap["events_executed"] == 1
+            assert snap["heap_depth"] == 1
+            assert snap["now"] >= 0.005
+            sched.close()
+            assert sched.pending_events == 0
+
+        run(scenario())
+
+    def test_post_delivers_from_worker_thread(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            sched = RealTimeScheduler(loop)
+            arrived = asyncio.Event()
+            worker = threading.Thread(target=sched.post, args=(arrived.set,))
+            worker.start()
+            worker.join()
+            await asyncio.wait_for(arrived.wait(), timeout=2.0)
+            sched.close()
+
+        run(scenario())

@@ -63,3 +63,93 @@ class TestOidChooser:
         chooser = OidChooser(100, random.Random(5))
         for _ in range(50):
             assert 0 <= chooser.acquire() < 100
+
+
+class TestSkewedChooser:
+    def _chooser(self, num_objects=1000, seed=7, fraction=0.01, probability=0.9):
+        from repro.workload.spec import SkewSpec
+
+        return OidChooser(
+            num_objects,
+            random.Random(seed),
+            skew=SkewSpec(hot_fraction=fraction, hot_probability=probability),
+        )
+
+    def test_disabled_skew_is_byte_identical(self):
+        # The unskewed chooser must consume the rng in exactly the same
+        # sequence as before the skew feature existed.
+        baseline = random.Random(123)
+        expected = [baseline.randrange(1000) for _ in range(200)]
+        chooser = OidChooser(1000, random.Random(123))
+        picks = []
+        for _ in range(200):
+            oid = chooser.acquire()
+            picks.append(oid)
+            chooser.release(oid)
+        assert picks == expected
+
+    def test_hot_set_receives_hot_probability_share(self):
+        chooser = self._chooser(num_objects=10_000, fraction=0.01, probability=0.9)
+        hot = 0
+        for _ in range(5000):
+            oid = chooser.acquire()
+            if oid < chooser.hot_count:
+                hot += 1
+            chooser.release(oid)
+        assert chooser.hot_count == 100
+        # 90% +- a generous sampling tolerance.
+        assert 0.85 < hot / 5000 < 0.95
+
+    def test_exclusivity_preserved_under_skew(self):
+        chooser = self._chooser(num_objects=50, fraction=0.1, probability=0.9)
+        held = [chooser.acquire() for _ in range(40)]
+        assert len(set(held)) == 40
+
+    def test_fully_held_hot_set_still_terminates(self):
+        # hot_probability=1.0 with every hot oid held: the rejection-limit
+        # fallback must pick a cold oid instead of spinning forever.
+        chooser = self._chooser(num_objects=100, fraction=0.05, probability=1.0)
+        for oid in range(chooser.hot_count):
+            chooser._in_use.add(oid)
+        oid = chooser.acquire()
+        assert oid >= chooser.hot_count
+
+    def test_exhaustion_still_raises_under_skew(self):
+        chooser = self._chooser(num_objects=4, fraction=0.3, probability=0.5)
+        for _ in range(4):
+            chooser.acquire()
+        with pytest.raises(WorkloadError):
+            chooser.acquire()
+
+    def test_skew_needs_two_objects(self):
+        from repro.workload.spec import SkewSpec
+
+        with pytest.raises(WorkloadError):
+            OidChooser(
+                1,
+                random.Random(0),
+                skew=SkewSpec(hot_fraction=0.5, hot_probability=0.9),
+            )
+
+    def test_hot_count_bounds(self):
+        # Extreme fractions still leave at least one hot and one cold oid.
+        tiny = self._chooser(num_objects=10, fraction=0.001)
+        assert tiny.hot_count == 1
+        huge = self._chooser(num_objects=10, fraction=0.999)
+        assert huge.hot_count == 9
+
+
+class TestSkewSpec:
+    def test_parse_round_trip(self):
+        from repro.workload.spec import SkewSpec
+
+        spec = SkewSpec.parse("0.01:0.9")
+        assert spec.hot_fraction == 0.01
+        assert spec.hot_probability == 0.9
+
+    def test_parse_rejects_garbage(self):
+        from repro.workload.spec import SkewSpec
+
+        for bad in ("", "0.1", "0.1:0.2:0.3", "a:b", "0:0.5", "0.5:0", "1:0.5"):
+            with pytest.raises(WorkloadError):
+                SkewSpec.parse(bad)
